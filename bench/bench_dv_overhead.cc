@@ -1,0 +1,152 @@
+// DV overhead versus service-domain size (§3.1): "When the number of
+// processes is large, the size of DVs becomes large, increasing message
+// size" — the reason service domains bound optimistic logging.
+//
+// We build a call chain of N MSPs inside ONE domain (client → m1 → … → mN)
+// and measure the DV entries and bytes attached per intra-domain message,
+// the distributed-flush fan-out at the reply to the end client, and the
+// response time — then the same chain split into N single-MSP domains
+// (pure pessimistic: no DVs, but a flush on every hop).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "msp/msp.h"
+#include "msp/service_domain.h"
+#include "rpc/client_endpoint.h"
+#include "sim/sim_disk.h"
+#include "sim/sim_env.h"
+#include "sim/sim_network.h"
+
+namespace msplog {
+namespace {
+
+constexpr double kTimeScale = 0.05;
+constexpr int kRequests = 60;
+
+struct Result {
+  double avg_dv_entries_per_msg = 0;
+  double dv_bytes_per_request = 0;
+  double flush_legs_per_request = 0;
+  double avg_response_ms = 0;
+};
+
+Result Measure(int chain_len, bool one_domain) {
+  SimEnvironment env(kTimeScale);
+  SimNetwork net(&env);
+  net.set_default_one_way_ms(0.5);
+  DomainDirectory dir;
+  std::vector<std::unique_ptr<SimDisk>> disks;
+  std::vector<std::unique_ptr<Msp>> msps;
+  for (int i = 0; i < chain_len; ++i) {
+    std::string id = "m" + std::to_string(i + 1);
+    dir.Assign(id, one_domain ? "dom" : "dom" + std::to_string(i));
+    disks.push_back(std::make_unique<SimDisk>(&env, "disk" + id));
+    MspConfig c;
+    c.id = id;
+    c.checkpoint_daemon = false;
+    msps.push_back(std::make_unique<Msp>(&env, &net, disks.back().get(),
+                                         &dir, c));
+  }
+  for (int i = 0; i < chain_len; ++i) {
+    Msp* msp = msps[i].get();
+    if (i + 1 < chain_len) {
+      std::string next = "m" + std::to_string(i + 2);
+      msp->RegisterMethod(
+          "hop", [next](ServiceContext* ctx, const Bytes& a, Bytes* r) {
+            return ctx->Call(next, "hop", a, r);
+          });
+    } else {
+      msp->RegisterMethod("hop", [](ServiceContext* ctx, const Bytes&,
+                                    Bytes* r) {
+        Bytes cur = ctx->GetSessionVar("n");
+        int n = cur.empty() ? 0 : std::stoi(cur);
+        ctx->SetSessionVar("n", std::to_string(n + 1));
+        *r = std::to_string(n + 1);
+        return Status::OK();
+      });
+    }
+  }
+  Result out;
+  for (int i = chain_len - 1; i >= 0; --i) {
+    if (!msps[i]->Start().ok()) return out;
+  }
+  ClientEndpoint client(&env, &net, "cli");
+  auto session = client.StartSession("m1");
+  Bytes reply;
+  // Warm up (session start records).
+  (void)client.Call(&session, "hop", "x", &reply);
+  auto before = env.stats().Snap();
+  double sum_ms = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    CallStats cs;
+    if (!client.Call(&session, "hop", "x", &reply, &cs).ok()) return out;
+    sum_ms += cs.response_model_ms;
+  }
+  auto after = env.stats().Snap();
+  uint64_t msgs = after.messages_sent - before.messages_sent;
+  uint64_t dv_entries = after.dv_entries_attached - before.dv_entries_attached;
+  out.avg_dv_entries_per_msg = msgs ? double(dv_entries) / msgs : 0;
+  // Each DV entry costs ~13 B + the MSP name on the wire.
+  out.dv_bytes_per_request = double(dv_entries) * 15 / kRequests;
+  out.flush_legs_per_request =
+      double(after.disk_flushes - before.disk_flushes) / kRequests;
+  out.avg_response_ms = sum_ms / kRequests;
+  for (auto& m : msps) m->Shutdown();
+  return out;
+}
+
+void Run() {
+  bench::Header("bench_dv_overhead",
+                "§3.1 — dependency-vector overhead vs service-domain size "
+                "(call chain of N MSPs)");
+
+  bench::Table table({"chain", "domains", "DV entries/msg", "DV B/request",
+                      "flush legs/request", "response(ms)"});
+  const int lens[] = {2, 4, 6, 8};
+  Result one[4], split[4];
+  for (int i = 0; i < 4; ++i) {
+    one[i] = Measure(lens[i], true);
+    split[i] = Measure(lens[i], false);
+    table.AddRow({std::to_string(lens[i]), "one",
+                  bench::Fmt(one[i].avg_dv_entries_per_msg, 2),
+                  bench::Fmt(one[i].dv_bytes_per_request, 0),
+                  bench::Fmt(one[i].flush_legs_per_request, 2),
+                  bench::Fmt(one[i].avg_response_ms, 1)});
+    table.AddRow({std::to_string(lens[i]), "per-MSP",
+                  bench::Fmt(split[i].avg_dv_entries_per_msg, 2),
+                  bench::Fmt(split[i].dv_bytes_per_request, 0),
+                  bench::Fmt(split[i].flush_legs_per_request, 2),
+                  bench::Fmt(split[i].avg_response_ms, 1)});
+  }
+  table.Print();
+
+  printf("\nshape checks:\n");
+  auto check = [](const char* what, bool ok) {
+    printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  };
+  check("DV size grows with the domain size (paper's motivation for "
+        "bounding domains)",
+        one[3].avg_dv_entries_per_msg > one[0].avg_dv_entries_per_msg);
+  check("per-MSP domains attach no DVs at all",
+        split[3].avg_dv_entries_per_msg == 0);
+  check("one domain needs fewer flush legs per request than per-MSP domains",
+        one[3].flush_legs_per_request < split[3].flush_legs_per_request);
+  check("one-domain (optimistic) response time beats per-MSP (pessimistic) "
+        "at every chain length",
+        one[0].avg_response_ms < split[0].avg_response_ms &&
+            one[3].avg_response_ms < split[3].avg_response_ms);
+  printf("\n(the trade-off: within one large domain every message carries a "
+         "growing DV and a\ncrash rolls back dependents across the whole "
+         "chain; per-MSP domains pay a flush\non every hop instead — the "
+         "paper's service domains let operators pick the boundary)\n");
+}
+
+}  // namespace
+}  // namespace msplog
+
+int main() {
+  msplog::Run();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E1 + E2 — Figure 14 (§5.2): average response time of the five system
+// configurations, and response time versus the number of calls to
+// ServiceMethod2 inside ServiceMethod1.
+//
+// Paper reference values (ms, m = 1):
+//   NoLog 8.697 < StateServer 16.658 < LoOptimistic 24.746
+//   < Pessimistic 35.227 < Psession 48.617
+// Expected shape: same ordering; Pessimistic grows fastest with m (two more
+// flushes per extra call), LoOptimistic stays at one distributed flush, and
+// StateServer closes in on LoOptimistic near m = 4.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "harness/paper_workload.h"
+
+namespace msplog {
+namespace {
+
+constexpr double kTimeScale = 0.1;
+constexpr int kRequests = 250;
+
+double MeasureAvgMs(PaperConfig config, int calls_per_request) {
+  PaperWorkloadOptions opts;
+  opts.config = config;
+  opts.time_scale = kTimeScale;
+  opts.calls_per_request = calls_per_request;
+  PaperWorkload w(opts);
+  if (!w.Start().ok()) return -1;
+  // Warm-up request (session materialization) excluded from the average.
+  RunResult warm = w.RunSingleClient(5);
+  (void)warm;
+  RunResult r = w.RunSingleClient(kRequests);
+  w.Shutdown();
+  return r.avg_response_ms;
+}
+
+void Run() {
+  const PaperConfig configs[] = {
+      PaperConfig::kNoLog, PaperConfig::kStateServer,
+      PaperConfig::kLoOptimistic, PaperConfig::kPessimistic,
+      PaperConfig::kPsession};
+  const double paper_m1[] = {8.697, 16.658, 24.746, 35.227, 48.617};
+
+  bench::Header("bench_fig14_response_time",
+                "Fig. 14 table + chart — avg response time (model ms), "
+                "5 configurations, m = 1..4 calls per request");
+
+  bench::Table table({"config", "paper(m=1)", "m=1", "m=2", "m=3", "m=4"});
+  double measured_m1[5];
+  for (int c = 0; c < 5; ++c) {
+    std::vector<std::string> row;
+    row.push_back(PaperConfigName(configs[c]));
+    row.push_back(bench::Fmt(paper_m1[c], 3));
+    for (int m = 1; m <= 4; ++m) {
+      double ms = MeasureAvgMs(configs[c], m);
+      if (m == 1) measured_m1[c] = ms;
+      row.push_back(bench::Fmt(ms));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  printf("\nshape checks (m=1):\n");
+  auto check = [&](const char* what, bool ok) {
+    printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  };
+  check("NoLog < StateServer", measured_m1[0] < measured_m1[1]);
+  check("StateServer < LoOptimistic", measured_m1[1] < measured_m1[2]);
+  check("LoOptimistic < Pessimistic", measured_m1[2] < measured_m1[3]);
+  check("Pessimistic < Psession", measured_m1[3] < measured_m1[4]);
+  double reduction = (measured_m1[3] - measured_m1[2]) / measured_m1[3];
+  printf("  LoOptimistic reduces response time vs Pessimistic by %.0f%% "
+         "(paper: ~30%%)\n", reduction * 100.0);
+}
+
+}  // namespace
+}  // namespace msplog
+
+int main() {
+  msplog::Run();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Log-composition analysis — what value logging actually costs (§3.3).
+//
+// The paper chooses VALUE logging for shared-variable access over the
+// access-ORDER logging of the record/replay literature: reads log the value
+// plus the variable's DV (so a recovering reader needs nobody), writes log
+// the value, the writer's DV and a chain pointer (so orphan variables are
+// undone in place, avoiding writer rollbacks and thread-pool deadlocks).
+// The price is bytes: an order-only record would carry just the variable id
+// and a position. This bench runs the Fig. 13 workload, scans the physical
+// log, breaks it down by record type, and quantifies the value-logging
+// overhead the paper argues is "modest" for small, infrequently accessed
+// shared state.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "harness/paper_workload.h"
+#include "log/log_scanner.h"
+
+namespace msplog {
+namespace {
+
+struct TypeStats {
+  uint64_t count = 0;
+  uint64_t bytes = 0;        // encoded body bytes
+  uint64_t value_bytes = 0;  // payload portion
+  uint64_t dv_bytes = 0;     // dependency-vector portion
+};
+
+void Run() {
+  bench::Header("bench_log_composition",
+                "§3.3 value logging — physical-log composition on the "
+                "Fig. 13 workload (200 requests, LoOptimistic)");
+
+  PaperWorkloadOptions opts;
+  opts.config = PaperConfig::kLoOptimistic;
+  opts.time_scale = 0.0;
+  opts.checkpoint_daemon = false;
+  PaperWorkload w(opts);
+  if (!w.Start().ok()) return;
+  RunResult r = w.RunSingleClient(200);
+  (void)r;
+  w.msp1()->log()->FlushAll();
+
+  std::map<LogRecordType, TypeStats> stats;
+  uint64_t total_bytes = 0;
+  {
+    SimDisk* disk = w.msp1()->log()->disk();
+    LogScanner scanner(disk, "msp1.log", 0, disk->FileSize("msp1.log"));
+    LogRecord rec;
+    while (scanner.Next(&rec).ok()) {
+      TypeStats& t = stats[rec.type];
+      Bytes body = rec.Encode();
+      t.count++;
+      t.bytes += body.size();
+      t.value_bytes += rec.payload.size();
+      if (rec.has_dv) t.dv_bytes += rec.dv.WireSize();
+      total_bytes += body.size();
+    }
+  }
+  w.Shutdown();
+
+  bench::Table table({"record type", "count", "bytes", "value bytes",
+                      "DV bytes", "% of log"});
+  for (const auto& [type, t] : stats) {
+    table.AddRow({LogRecordTypeName(type), std::to_string(t.count),
+                  std::to_string(t.bytes), std::to_string(t.value_bytes),
+                  std::to_string(t.dv_bytes),
+                  bench::Fmt(100.0 * t.bytes / total_bytes, 1) + "%"});
+  }
+  table.Print();
+
+  // Value logging vs hypothetical access-order logging for shared state:
+  // an order record needs only the variable id + a small header (~24 B).
+  const TypeStats& reads = stats[LogRecordType::kSharedRead];
+  const TypeStats& writes = stats[LogRecordType::kSharedWrite];
+  uint64_t value_logged = reads.bytes + writes.bytes;
+  uint64_t order_only = (reads.count + writes.count) * 24;
+  printf("\nshared-state logging: value-logged %llu B vs ~%llu B for "
+         "access-order records (%.1fx)\n",
+         (unsigned long long)value_logged, (unsigned long long)order_only,
+         double(value_logged) / order_only);
+  printf("as a share of the whole log, value logging of shared state costs "
+         "%.1f%% extra\n",
+         100.0 * (value_logged - order_only) / total_bytes);
+  printf("\nwhat the extra bytes buy (§3.3, §4.2):\n"
+         "  - reader recovery never rolls back writers (values come from "
+         "the log);\n"
+         "  - orphan variables are undone in place along the write chain;\n"
+         "  - no thread-pool deadlocks waiting for other sessions' replay.\n");
+
+  double per_access =
+      double(value_logged) / (reads.count + writes.count);
+  printf("\nper shared access: %.0f B logged — well under one 512 B "
+         "sector, so the\nvalue-logged bytes never add a sector to a flush "
+         "on their own. The paper's\n'modest overhead' claim assumes "
+         "infrequent access; the Fig. 13 workload is\ndeliberately "
+         "shared-heavy (4 accesses per request), which is why shared\n"
+         "records dominate this log. Scale the share down linearly for "
+         "sparser access.\n", per_access);
+
+  printf("\nshape checks:\n");
+  bool bounded = per_access < 512;
+  printf("  [%s] value logging costs < 1 sector per shared access "
+         "(128 B variables)\n", bounded ? "PASS" : "FAIL");
+  bool dv_small = reads.dv_bytes + writes.dv_bytes < total_bytes / 4;
+  printf("  [%s] DV bytes in shared-state records are a minor component\n",
+         dv_small ? "PASS" : "FAIL");
+}
+
+}  // namespace
+}  // namespace msplog
+
+int main() {
+  msplog::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared console utilities for the reproduction benchmarks: aligned tables,
+// paper-vs-measured rows, and consistent run headers. Each bench binary
+// regenerates one table or figure from §5 of "Log-Based Recovery for
+// Middleware Servers" (SIGMOD 2007); absolute numbers differ from the
+// paper's testbed, the *shape* (ordering, growth, crossovers) is the target.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace msplog {
+namespace bench {
+
+inline void Header(const std::string& title, const std::string& paper_ref) {
+  printf("\n==============================================================\n");
+  printf("%s\n", title.c_str());
+  printf("reproduces: %s\n", paper_ref.c_str());
+  printf("==============================================================\n");
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> width(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      printf("  ");
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        printf("%-*s  ", static_cast<int>(width[c]), cell.c_str());
+      }
+      printf("\n");
+    };
+    print_row(columns_);
+    std::vector<std::string> sep;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      sep.push_back(std::string(width[c], '-'));
+    }
+    print_row(sep);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int prec = 2) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace msplog

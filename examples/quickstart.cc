@@ -1,0 +1,80 @@
+// Quickstart — the smallest useful msplog program.
+//
+// One recoverable middleware server with a session counter. We run a few
+// requests, kill the server abruptly, restart it, and show that log-based
+// recovery reconstructed the session state and that a duplicated request is
+// answered from the buffered reply rather than re-executed: exactly-once
+// execution, transparent to the service method.
+//
+//   build/examples/quickstart
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "msp/msp.h"
+#include "msp/service_domain.h"
+#include "rpc/client_endpoint.h"
+#include "sim/sim_disk.h"
+#include "sim/sim_env.h"
+#include "sim/sim_network.h"
+
+using namespace msplog;
+
+int main() {
+  // Simulation substrate: instant time, one disk, one in-process network.
+  SimEnvironment env(/*time_scale=*/0.0);
+  SimNetwork network(&env);
+  SimDisk disk(&env, "disk0");
+  DomainDirectory domains;
+  domains.Assign("server", "domainA");
+
+  // A middleware server process with one service method.
+  MspConfig config;
+  config.id = "server";
+  Msp server(&env, &network, &disk, &domains, config);
+  server.RegisterMethod(
+      "increment", [](ServiceContext* ctx, const Bytes&, Bytes* result) {
+        Bytes current = ctx->GetSessionVar("count");   // private session state
+        int n = current.empty() ? 0 : std::stoi(current);
+        ctx->SetSessionVar("count", std::to_string(n + 1));
+        *result = std::to_string(n + 1);
+        return Status::OK();
+      });
+  if (!server.Start().ok()) return 1;
+  printf("server started (epoch %u)\n", server.epoch());
+
+  // A client with one session. The client resends until it gets a reply;
+  // the server deduplicates by request sequence number.
+  ClientEndpoint client(&env, &network, "client");
+  ClientSession session = client.StartSession("server");
+  Bytes reply;
+  for (int i = 0; i < 3; ++i) {
+    if (!client.Call(&session, "increment", "", &reply).ok()) return 1;
+    printf("increment -> %s\n", reply.c_str());
+  }
+
+  printf("\n*** crash! volatile state gone, durable log survives ***\n\n");
+  server.Crash();
+  if (!server.Start().ok()) return 1;
+  // Session replay runs in parallel with new traffic; give it a beat so the
+  // statistics below are settled (requests would be served correctly either
+  // way — arrivals during recovery just get Busy and are retried).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  printf("server recovered (epoch %u), %llu requests replayed\n",
+         server.epoch(),
+         (unsigned long long)env.stats().requests_replayed.load());
+
+  // The session continues exactly where it left off...
+  if (!client.Call(&session, "increment", "", &reply).ok()) return 1;
+  printf("increment -> %s   (state reconstructed by replay)\n", reply.c_str());
+
+  // ...and a duplicate of an already-executed request is NOT re-executed.
+  session.next_seqno -= 1;
+  if (!client.Call(&session, "increment", "", &reply).ok()) return 1;
+  printf("duplicate of the same request -> %s   (buffered reply, "
+         "exactly-once)\n", reply.c_str());
+
+  server.Shutdown();
+  printf("\ndone.\n");
+  return 0;
+}

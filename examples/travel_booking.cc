@@ -1,0 +1,135 @@
+// Travel booking — multi-MSP interaction across service-domain boundaries
+// (§1.3, §2.1, §3.1).
+//
+// A travel-agency MSP and a payments MSP run in one service domain (same
+// provider, fast LAN: locally OPTIMISTIC logging — DV-tagged messages, no
+// flush per hop). An airline MSP belongs to a different provider and hence
+// a different service domain: messages to it are PESSIMISTICALLY logged
+// (distributed log flush before send), which keeps recovery independent
+// across organizations.
+//
+// We book trips while both the payments MSP and the airline MSP crash, and
+// verify that every booking settled exactly once on both sides.
+//
+//   build/examples/travel_booking
+#include <cstdio>
+
+#include "msp/msp.h"
+#include "msp/service_domain.h"
+#include "rpc/client_endpoint.h"
+#include "sim/sim_disk.h"
+#include "sim/sim_env.h"
+#include "sim/sim_network.h"
+
+using namespace msplog;
+
+int main() {
+  SimEnvironment env(0.0);
+  SimNetwork network(&env);
+  SimDisk agency_disk(&env, "agency-disk");
+  SimDisk payments_disk(&env, "payments-disk");
+  SimDisk airline_disk(&env, "airline-disk");
+
+  DomainDirectory domains;
+  domains.Assign("agency", "travelcorp");
+  domains.Assign("payments", "travelcorp");  // same provider: optimistic
+  domains.Assign("airline", "skyways");      // other provider: pessimistic
+
+  MspConfig agency_cfg, payments_cfg, airline_cfg;
+  agency_cfg.id = "agency";
+  payments_cfg.id = "payments";
+  airline_cfg.id = "airline";
+
+  Msp agency(&env, &network, &agency_disk, &domains, agency_cfg);
+  Msp payments(&env, &network, &payments_disk, &domains, payments_cfg);
+  Msp airline(&env, &network, &airline_disk, &domains, airline_cfg);
+
+  // Airline: seat inventory in shared state, one booking method.
+  airline.RegisterSharedVariable("seats", "20");
+  airline.RegisterMethod(
+      "reserve_seat", [](ServiceContext* ctx, const Bytes& who, Bytes* r) {
+        Bytes left;
+        MSPLOG_RETURN_IF_ERROR(ctx->UpdateShared(
+            "seats",
+            [](const Bytes& cur) {
+              int n = std::stoi(cur);
+              return n > 0 ? std::to_string(n - 1) : cur;
+            },
+            &left));
+        *r = "seat-" + std::to_string(20 - std::stoi(left)) + " for " + who;
+        return Status::OK();
+      });
+
+  // Payments: total charged volume in shared state.
+  payments.RegisterSharedVariable("charged_total", "0");
+  payments.RegisterMethod(
+      "charge", [](ServiceContext* ctx, const Bytes& amount, Bytes* r) {
+        Bytes amt(amount);
+        MSPLOG_RETURN_IF_ERROR(ctx->UpdateShared(
+            "charged_total", [amt](const Bytes& cur) {
+              return std::to_string(std::stol(cur) + std::stol(amt));
+            }));
+        *r = "charged " + amt;
+        return Status::OK();
+      });
+
+  // Agency: orchestrates seat + payment, remembers itinerary per session.
+  agency.RegisterMethod(
+      "book_trip", [](ServiceContext* ctx, const Bytes& who, Bytes* r) {
+        Bytes seat, receipt;
+        // Cross-domain call: the agency's log is flushed before this
+        // request leaves the "travelcorp" domain.
+        MSPLOG_RETURN_IF_ERROR(ctx->Call("airline", "reserve_seat", who, &seat));
+        // Intra-domain call: optimistic, DV attached, no flush.
+        MSPLOG_RETURN_IF_ERROR(ctx->Call("payments", "charge", "199", &receipt));
+        Bytes itinerary = ctx->GetSessionVar("itinerary");
+        itinerary += seat + "|";
+        ctx->SetSessionVar("itinerary", itinerary);
+        *r = seat + " (" + receipt + ")";
+        return Status::OK();
+      });
+
+  if (!airline.Start().ok() || !payments.Start().ok() ||
+      !agency.Start().ok()) {
+    return 1;
+  }
+
+  ClientEndpoint traveler(&env, &network, "traveler");
+  ClientSession session = traveler.StartSession("agency");
+  Bytes reply;
+
+  constexpr int kTrips = 6;
+  for (int i = 0; i < kTrips; ++i) {
+    if (i == 2) {
+      printf("*** payments MSP crashes (intra-domain orphan recovery) ***\n");
+      payments.Crash();
+      if (!payments.Start().ok()) return 1;
+    }
+    if (i == 4) {
+      printf("*** airline MSP crashes (cross-domain: agency unaffected) ***\n");
+      airline.Crash();
+      if (!airline.Start().ok()) return 1;
+    }
+    if (!traveler.Call(&session, "book_trip", "traveler", &reply).ok()) {
+      printf("booking %d failed\n", i + 1);
+      return 1;
+    }
+    printf("booking %d: %s\n", i + 1, reply.c_str());
+  }
+
+  int seats_left = std::stoi(*airline.PeekSharedValue("seats"));
+  long charged = std::stol(*payments.PeekSharedValue("charged_total"));
+  printf("\nseats left:    %d (expected %d)\n", seats_left, 20 - kTrips);
+  printf("total charged: %ld (expected %d)\n", charged, kTrips * 199);
+  bool exact = seats_left == 20 - kTrips && charged == kTrips * 199L;
+  printf("exactly-once across both domains: %s\n", exact ? "YES" : "NO");
+
+  printf("\nmessage overhead: %llu DV entries attached (only on "
+         "intra-domain messages)\n",
+         (unsigned long long)env.stats().dv_entries_attached.load());
+
+  agency.Shutdown();
+  payments.Shutdown();
+  airline.Shutdown();
+  return exact ? 0 : 1;
+}

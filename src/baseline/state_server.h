@@ -1,0 +1,55 @@
+// StateServerNode — the §5 "StateServer" baseline: session states are kept
+// in memory at a state server on a different computer. Cheap (two light
+// network round trips per request per MSP) but not durable: if the state
+// server crashes, every session state is gone — exactly the weakness the
+// paper contrasts with log-based recovery.
+//
+// Protocol (over SimNetwork, reusing the rpc::Message frame):
+//   method "__ss_get": payload = session key
+//                      reply   = [u8 found][blob]
+//   method "__ss_put": payload = PutBytes(key) PutBytes(blob)
+//                      reply   = empty
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "rpc/message.h"
+#include "sim/sim_env.h"
+#include "sim/sim_network.h"
+
+namespace msplog {
+
+class StateServerNode {
+ public:
+  StateServerNode(SimEnvironment* env, SimNetwork* network, std::string name);
+  ~StateServerNode();
+
+  Status Start();
+  /// Abrupt failure: the in-memory session states are lost.
+  void Crash();
+
+  const std::string& name() const { return name_; }
+  size_t StoredSessions() const;
+
+ private:
+  void Loop();
+
+  SimEnvironment* env_;
+  SimNetwork* network_;
+  std::string name_;
+  std::shared_ptr<Mailbox> mailbox_;
+  std::thread thread_;
+  bool running_ = false;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Bytes> store_;
+};
+
+}  // namespace msplog

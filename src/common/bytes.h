@@ -1,0 +1,29 @@
+// Byte-buffer aliases used across msplog. A Bytes is an owned, mutable byte
+// string; a ByteView is a non-owning window over one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace msplog {
+
+using Bytes = std::string;
+using ByteView = std::string_view;
+
+/// Make an opaque payload of `n` bytes with deterministic content derived
+/// from `seed` — used by workloads and tests to build request parameters and
+/// session-state values of a prescribed size.
+inline Bytes MakePayload(size_t n, uint64_t seed = 0) {
+  Bytes out(n, '\0');
+  uint64_t x = seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  for (size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    out[i] = static_cast<char>('a' + (x % 26));
+  }
+  return out;
+}
+
+}  // namespace msplog

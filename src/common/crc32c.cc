@@ -1,0 +1,42 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace msplog {
+namespace crc32c {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78U;  // reflected CRC32C polynomial
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Compute(const void* data, size_t n, uint32_t init) {
+  const auto& table = Table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~init;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace crc32c
+}  // namespace msplog

@@ -1,0 +1,31 @@
+// CRC32C (Castagnoli) — software, table-driven. Protects every physical log
+// record, the log anchor, and kvdb WAL records against torn writes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace msplog {
+namespace crc32c {
+
+/// Compute the CRC32C of `data`, continuing from `init` (0 for a fresh CRC).
+uint32_t Compute(const void* data, size_t n, uint32_t init = 0);
+
+inline uint32_t Compute(ByteView v, uint32_t init = 0) {
+  return Compute(v.data(), v.size(), init);
+}
+
+/// Masked CRC (RocksDB-style) so that a CRC stored alongside CRC-covered
+/// data does not itself look like valid data.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8U;
+}
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xA282EAD8U;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace crc32c
+}  // namespace msplog

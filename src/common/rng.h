@@ -1,0 +1,37 @@
+// Deterministic pseudo-random number generator (xoshiro-style splitmix64).
+// All stochastic behaviour in the simulator (message drops, OS-interference
+// disk seeks, workload jitter) draws from explicitly seeded Rng instances so
+// experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace msplog {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0xC0FFEE123456789ULL) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace msplog

@@ -1,0 +1,84 @@
+#include "common/serde.h"
+
+#include <cstring>
+
+namespace msplog {
+
+void BinaryWriter::PutU32(uint32_t v) {
+  char tmp[4];
+  for (int i = 0; i < 4; ++i) tmp[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  buf_.append(tmp, 4);
+}
+
+void BinaryWriter::PutU64(uint64_t v) {
+  char tmp[8];
+  for (int i = 0; i < 8; ++i) tmp[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  buf_.append(tmp, 8);
+}
+
+void BinaryWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void BinaryWriter::PutBytes(ByteView v) {
+  PutVarint(v.size());
+  buf_.append(v.data(), v.size());
+}
+
+Status BinaryReader::GetU8(uint8_t* out) {
+  if (remaining() < 1) return Status::Corruption("truncated u8");
+  *out = static_cast<uint8_t>(view_[pos_++]);
+  return Status::OK();
+}
+
+Status BinaryReader::GetU32(uint32_t* out) {
+  if (remaining() < 4) return Status::Corruption("truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(view_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 4;
+  *out = v;
+  return Status::OK();
+}
+
+Status BinaryReader::GetU64(uint64_t* out) {
+  if (remaining() < 8) return Status::Corruption("truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(view_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  *out = v;
+  return Status::OK();
+}
+
+Status BinaryReader::GetVarint(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= view_.size()) return Status::Corruption("truncated varint");
+    if (shift > 63) return Status::Corruption("varint too long");
+    uint8_t byte = static_cast<uint8_t>(view_[pos_++]);
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status BinaryReader::GetBytes(Bytes* out) {
+  uint64_t n = 0;
+  MSPLOG_RETURN_IF_ERROR(GetVarint(&n));
+  if (remaining() < n) return Status::Corruption("truncated bytes");
+  out->assign(view_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace msplog

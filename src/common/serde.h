@@ -1,0 +1,59 @@
+// Binary serialization used for log records, checkpoints, dependency
+// vectors, messages and kvdb WAL entries. Little-endian fixed-width ints,
+// LEB128 varints, and length-prefixed strings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace msplog {
+
+/// Appends primitive values to an owned byte buffer.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutVarint(uint64_t v);
+  /// Length-prefixed (varint) byte string.
+  void PutBytes(ByteView v);
+  /// Raw bytes with no length prefix.
+  void PutRaw(ByteView v) { buf_.append(v.data(), v.size()); }
+
+  const Bytes& buffer() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes primitive values from a byte view. All getters return
+/// Status::Corruption on truncation; decoding never reads past the view.
+class BinaryReader {
+ public:
+  explicit BinaryReader(ByteView view) : view_(view) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetVarint(uint64_t* out);
+  Status GetBytes(Bytes* out);
+
+  bool AtEnd() const { return pos_ == view_.size(); }
+  size_t remaining() const { return view_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  ByteView view_;
+  size_t pos_ = 0;
+};
+
+}  // namespace msplog

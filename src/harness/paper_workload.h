@@ -1,0 +1,162 @@
+// PaperWorkload — the experimental setting of §5.1, Figure 13.
+//
+//   end client --> MSP1.ServiceMethod1:
+//                    read+write SV0
+//                    m × call MSP2.ServiceMethod2:
+//                          read+write SV2, read+write SV3,
+//                          modify session state (512 B of 8 KB)
+//                    read+write SV1
+//                    modify session state (512 B of 8 KB)
+//
+// Parameters and returned values are 100 B; shared variables 128 B; total
+// session state 8 KB per session at each MSP. Link latencies default to the
+// paper's measurements (client↔MSP1 round trip 3.9 ms, MSP1↔MSP2 3.596 ms).
+//
+// The harness builds any of the five §5 configurations, drives single- or
+// multi-client load, injects the §5.4 crash ("when the reply from
+// ServiceMethod2 is received by MSP1, MSP2 is instructed to kill itself",
+// losing MSP2's buffered log records and orphaning SE1 at MSP1), and
+// gathers response-time and throughput statistics in model milliseconds.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/state_server.h"
+#include "msp/msp.h"
+#include "msp/service_domain.h"
+#include "rpc/client_endpoint.h"
+#include "sim/sim_disk.h"
+#include "sim/sim_env.h"
+#include "sim/sim_network.h"
+
+namespace msplog {
+
+/// Which §5 system configuration to build.
+enum class PaperConfig {
+  kLoOptimistic,  ///< both MSPs in one service domain (locally optimistic)
+  kPessimistic,   ///< each MSP its own domain (pure pessimistic logging)
+  kNoLog,         ///< no recovery infrastructure
+  kPsession,      ///< session state in a local database per request
+  kStateServer,   ///< session state at a remote in-memory state server
+};
+
+const char* PaperConfigName(PaperConfig c);
+
+struct PaperWorkloadOptions {
+  PaperConfig config = PaperConfig::kLoOptimistic;
+  double time_scale = 0.0;
+  /// m: calls to ServiceMethod2 inside ServiceMethod1 (§5.2 chart).
+  int calls_per_request = 1;
+
+  // Checkpointing (§5.3): 0 disables session checkpoints ("NoCp").
+  uint64_t session_checkpoint_threshold_bytes = 1 << 20;
+  uint64_t msp_checkpoint_log_bytes = 1 << 20;
+  bool checkpoint_daemon = true;
+
+  // Batch flushing (§5.5).
+  bool batch_flush = false;
+  double batch_timeout_ms = 8.0;
+
+  // Latency model (one-way, model ms; paper round trips: 3.9 / 3.596 ms).
+  double client_one_way_ms = 1.85;
+  double msp_one_way_ms = 1.70;
+  double ss_one_way_ms = 0.35;
+  /// Model CPU per service-method body.
+  double method_compute_ms = 0.25;
+  /// Probability a disk I/O pays a full random seek because the OS shares
+  /// the disk (§5.2 folds ~1/3 into TF2). Zero makes latencies
+  /// deterministic — useful for max-response-time benches.
+  double os_interference_prob = 1.0 / 3.0;
+  /// RPC retry clocks (model ms). The defaults suit full-scale runs; the
+  /// 1:10-scaled crash benches shrink them so that retry quantization does
+  /// not mask the recovery work being measured.
+  double call_resend_timeout_ms = 400.0;
+  double flush_timeout_ms = 300.0;
+  double client_busy_backoff_ms = 100.0;
+  /// Give-up budget for end-client resends (raised by crash-storm tests).
+  uint32_t client_max_sends = 200;
+  /// Single-core CPU contention model (§5.5 / Fig. 17).
+  bool single_core_cpu = false;
+  double cpu_per_flush_ms = 0.0;
+
+  // Sizes (§5.1).
+  size_t payload_bytes = 100;
+  size_t session_state_bytes = 8192;
+  size_t session_write_bytes = 512;
+  size_t shared_var_bytes = 128;
+
+  size_t thread_pool_size = 8;
+};
+
+/// Aggregate results of a driven run.
+struct RunResult {
+  uint64_t requests = 0;
+  double avg_response_ms = 0;
+  double max_response_ms = 0;
+  double throughput_rps = 0;  ///< requests per model second
+  double elapsed_model_ms = 0;
+  uint64_t resends = 0;
+  uint64_t busy_replies = 0;
+};
+
+class PaperWorkload {
+ public:
+  explicit PaperWorkload(PaperWorkloadOptions options);
+  ~PaperWorkload();
+
+  SimEnvironment* env() { return env_.get(); }
+  SimNetwork* network() { return network_.get(); }
+  Msp* msp1() { return msp1_.get(); }
+  Msp* msp2() { return msp2_.get(); }
+
+  /// Start MSPs (and the state server when configured).
+  Status Start();
+  void Shutdown();
+
+  /// Create an end client endpoint wired with the paper's link latencies.
+  std::unique_ptr<ClientEndpoint> MakeClient(const std::string& name);
+
+  /// Drive `requests` requests over one session from one client;
+  /// crash_every > 0 injects the §5.4 crash once per that many requests.
+  RunResult RunSingleClient(int requests, int crash_every = 0);
+
+  /// Drive `clients` concurrent clients, each issuing `requests_per_client`
+  /// requests over its own session.
+  RunResult RunMultiClient(int clients, int requests_per_client,
+                           int crash_every = 0);
+
+  /// Arm the §5.4 crash: the next non-replay ServiceMethod1 execution that
+  /// completes its calls instructs MSP2 to kill itself (and the harness
+  /// restarts MSP2, which runs crash recovery).
+  void ArmCrash();
+  uint64_t crashes_injected() const { return crashes_injected_.load(); }
+
+ private:
+  void RegisterMethods(Msp* msp, bool is_msp1);
+  void TriggerCrashAsync();
+  void JoinCrashThreads();
+
+  PaperWorkloadOptions options_;
+  std::unique_ptr<SimEnvironment> env_;
+  std::unique_ptr<SimNetwork> network_;
+  std::unique_ptr<SimDisk> disk1_;
+  std::unique_ptr<SimDisk> disk2_;
+  DomainDirectory directory_;
+  std::unique_ptr<Msp> msp1_;
+  std::unique_ptr<Msp> msp2_;
+  std::unique_ptr<StateServerNode> state_server_;
+
+  std::atomic<bool> crash_armed_{false};
+  std::atomic<uint64_t> crashes_injected_{0};
+  std::mutex crash_threads_mu_;
+  std::vector<std::thread> crash_threads_;
+  /// Serializes injected crash/restart cycles of MSP2.
+  std::mutex crash_cycle_mu_;
+  std::atomic<int> next_client_ = 1;
+};
+
+}  // namespace msplog

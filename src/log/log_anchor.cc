@@ -1,0 +1,37 @@
+#include "log/log_anchor.h"
+
+#include "common/crc32c.h"
+#include "common/serde.h"
+
+namespace msplog {
+
+Status LogAnchor::Write(const AnchorData& data) {
+  BinaryWriter w;
+  w.PutU64(data.msp_checkpoint_lsn);
+  w.PutU32(data.epoch);
+  Bytes body = w.Take();
+  BinaryWriter framed;
+  framed.PutU32(crc32c::Mask(crc32c::Compute(body)));
+  framed.PutRaw(body);
+  return disk_->WriteAt(file_, 0, framed.buffer());
+}
+
+Status LogAnchor::Read(AnchorData* out) {
+  if (!disk_->Exists(file_)) return Status::NotFound("no anchor");
+  Bytes raw;
+  MSPLOG_RETURN_IF_ERROR(disk_->ReadAt(file_, 0, 4 + 12, &raw));
+  if (raw.size() < 4 + 12) return Status::Corruption("short anchor");
+  BinaryReader r(raw);
+  uint32_t masked = 0;
+  MSPLOG_RETURN_IF_ERROR(r.GetU32(&masked));
+  ByteView body = ByteView(raw).substr(4, 12);
+  if (crc32c::Compute(body) != crc32c::Unmask(masked)) {
+    return Status::Corruption("anchor CRC mismatch");
+  }
+  BinaryReader br(body);
+  MSPLOG_RETURN_IF_ERROR(br.GetU64(&out->msp_checkpoint_lsn));
+  MSPLOG_RETURN_IF_ERROR(br.GetU32(&out->epoch));
+  return Status::OK();
+}
+
+}  // namespace msplog

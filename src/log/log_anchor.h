@@ -1,0 +1,40 @@
+// LogAnchor — ARIES-style anchor block (§3.4): a small, fixed-location block
+// recording where recovery should begin. It stores the LSN of the most
+// recent MSP checkpoint and the MSP's current epoch number. It is rewritten
+// after every MSP checkpoint and when a recovering MSP bumps its epoch
+// (before broadcasting its recovered state number), so that a crash *during*
+// recovery can never reuse an epoch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "sim/sim_disk.h"
+
+namespace msplog {
+
+struct AnchorData {
+  /// LSN of the most recent MSP checkpoint record; 0 = none taken yet.
+  uint64_t msp_checkpoint_lsn = 0;
+  /// The MSP's current epoch (failure-free period counter).
+  uint32_t epoch = 0;
+};
+
+class LogAnchor {
+ public:
+  LogAnchor(SimDisk* disk, std::string file) : disk_(disk), file_(std::move(file)) {}
+
+  /// Durably (over)write the anchor block. One-sector write.
+  Status Write(const AnchorData& data);
+
+  /// Read the anchor. NotFound if the anchor was never written;
+  /// Corruption if its CRC fails.
+  Status Read(AnchorData* out);
+
+ private:
+  SimDisk* disk_;
+  std::string file_;
+};
+
+}  // namespace msplog

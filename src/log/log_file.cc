@@ -1,0 +1,305 @@
+#include "log/log_file.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/crc32c.h"
+
+namespace msplog {
+
+namespace {
+constexpr size_t kFrameHeaderBytes = 8;  // u32 len + u32 masked crc
+
+void PutU32At(Bytes* buf, size_t pos, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*buf)[pos + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+uint32_t GetU32At(ByteView buf, size_t pos) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(buf[pos + i])) << (8 * i);
+  }
+  return v;
+}
+}  // namespace
+
+Bytes FrameRecord(ByteView body) {
+  Bytes frame(kFrameHeaderBytes, '\0');
+  PutU32At(&frame, 0, static_cast<uint32_t>(body.size()));
+  PutU32At(&frame, 4, crc32c::Mask(crc32c::Compute(body)));
+  frame.append(body.data(), body.size());
+  return frame;
+}
+
+Status ParseFrame(ByteView data, size_t pos, ByteView* body_out,
+                  size_t* frame_len) {
+  if (pos + kFrameHeaderBytes > data.size()) {
+    return Status::Corruption("truncated frame header");
+  }
+  uint32_t len = GetU32At(data, pos);
+  if (len == 0) return Status::NotFound("padding");
+  if (pos + kFrameHeaderBytes + len > data.size()) {
+    return Status::Corruption("truncated frame body");
+  }
+  uint32_t stored = crc32c::Unmask(GetU32At(data, pos + 4));
+  ByteView body = data.substr(pos + kFrameHeaderBytes, len);
+  if (crc32c::Compute(body) != stored) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  *body_out = body;
+  *frame_len = kFrameHeaderBytes + len;
+  return Status::OK();
+}
+
+LogFile::LogFile(SimEnvironment* env, SimDisk* disk, std::string file_name,
+                 LogFileOptions options)
+    : env_(env),
+      disk_(disk),
+      file_name_(std::move(file_name)),
+      options_(options),
+      sector_bytes_(disk->geometry().sector_bytes) {
+  // Resume appending after the existing durable extent (sector-aligned).
+  // The first sector is reserved so that no record ever has LSN 0 — LSN 0
+  // is the "none" sentinel in checkpoints and session metadata. The scanner
+  // treats the reserved sector as padding and skips it.
+  uint64_t size = disk_->FileSize(file_name_);
+  uint64_t aligned = (size + sector_bytes_ - 1) / sector_bytes_ * sector_bytes_;
+  aligned = std::max<uint64_t>(aligned, sector_bytes_);
+  durable_end_ = aligned;
+  buffer_base_ = aligned;
+  if (options_.batch_flush) {
+    batch_thread_ = std::thread([this] { BatchFlusherLoop(); });
+  }
+}
+
+LogFile::~LogFile() { Stop(); }
+
+void LogFile::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (batch_thread_.joinable()) batch_thread_.join();
+}
+
+uint64_t LogFile::Append(const LogRecord& rec, size_t* framed_size) {
+  Bytes frame = FrameRecord(rec.Encode());
+  if (framed_size) *framed_size = frame.size();
+  std::unique_lock<std::mutex> lk(mu_);
+  uint64_t lsn = buffer_base_ + buffer_.size();
+  buffer_.append(frame);
+  env_->stats().log_records_appended.fetch_add(1);
+  env_->stats().log_bytes_appended.fetch_add(frame.size());
+  if (buffer_.size() > options_.max_buffer_bytes && !crashed_) {
+    // Safety valve: flush inline on the appender's thread.
+    if (flush_in_progress_) {
+      cv_.wait(lk, [&] { return !flush_in_progress_ || crashed_; });
+    } else {
+      DoFlushLocked(lk);
+    }
+  }
+  return lsn;
+}
+
+Status LogFile::DoFlushLocked(std::unique_lock<std::mutex>& lk) {
+  assert(!flush_in_progress_);
+  if (crashed_) return Status::Crashed("log crashed");
+  if (buffer_.empty()) return Status::OK();
+  flush_in_progress_ = true;
+
+  // Pad to a sector boundary; the remainder of the last sector is wasted.
+  Bytes block = std::move(buffer_);
+  uint64_t base = buffer_base_;
+  size_t padded =
+      (block.size() + sector_bytes_ - 1) / sector_bytes_ * sector_bytes_;
+  env_->stats().disk_bytes_wasted.fetch_add(padded - block.size());
+  block.resize(padded, '\0');
+  pending_ = std::move(block);
+  pending_base_ = base;
+  buffer_.clear();
+  buffer_base_ = base + padded;
+
+  lk.unlock();
+  if (options_.on_physical_write) options_.on_physical_write();
+  // Write in blocks of at most max_block_sectors (1–128 sectors, §5.2).
+  const uint64_t max_block_bytes =
+      static_cast<uint64_t>(options_.max_block_sectors) * sector_bytes_;
+  Status st;
+  for (uint64_t off = 0; off < padded; off += max_block_bytes) {
+    uint64_t n = std::min<uint64_t>(max_block_bytes, padded - off);
+    st = disk_->WriteAt(file_name_, base + off,
+                        ByteView(pending_).substr(off, n));
+    if (!st.ok()) break;
+  }
+  lk.lock();
+
+  if (st.ok() && !crashed_) {
+    durable_end_ = pending_base_ + pending_.size();
+  }
+  pending_.clear();
+  flush_in_progress_ = false;
+  cv_.notify_all();
+  return crashed_ ? Status::Crashed("log crashed") : st;
+}
+
+Status LogFile::FlushUpTo(uint64_t lsn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (lsn >= buffer_base_ + buffer_.size()) {
+    return Status::InvalidArgument("flush target beyond log end");
+  }
+  if (durable_end_ > lsn) {
+    return crashed_ ? Status::Crashed("log crashed") : Status::OK();
+  }
+  if (options_.batch_flush) {
+    // Group commit: park until the batch flusher's next write covers us.
+    while (durable_end_ <= lsn) {
+      if (crashed_) return Status::Crashed("log crashed");
+      flush_requested_ = true;
+      cv_.notify_all();
+      cv_.wait(lk, [&] { return durable_end_ > lsn || crashed_; });
+    }
+    return crashed_ ? Status::Crashed("log crashed") : Status::OK();
+  }
+  // Unbatched: every flush call that found undurable data issues one
+  // physical write, exactly like the paper's prototype ("each log flush is
+  // one log block", §5.2). If a concurrent flush made our records durable
+  // while we waited our turn, the sync still pays a one-sector barrier —
+  // this non-coalescing is what batch flushing (§5.5) removes.
+  while (flush_in_progress_) {
+    if (crashed_) return Status::Crashed("log crashed");
+    cv_.wait(lk, [&] { return !flush_in_progress_ || crashed_; });
+  }
+  if (crashed_) return Status::Crashed("log crashed");
+  if (durable_end_ <= lsn) {
+    MSPLOG_RETURN_IF_ERROR(DoFlushLocked(lk));
+  } else {
+    flush_in_progress_ = true;
+    lk.unlock();
+    if (options_.on_physical_write) options_.on_physical_write();
+    disk_->Barrier(1);
+    lk.lock();
+    flush_in_progress_ = false;
+    cv_.notify_all();
+  }
+  return crashed_ ? Status::Crashed("log crashed") : Status::OK();
+}
+
+Status LogFile::FlushAll() {
+  uint64_t end;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    end = buffer_base_ + buffer_.size();
+    if (end == durable_end_) return crashed_ ? Status::Crashed("") : Status::OK();
+  }
+  return FlushUpTo(end - 1);
+}
+
+Status LogFile::ReadRecordAt(uint64_t lsn, LogRecord* out) {
+  Bytes frame_bytes;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (lsn >= buffer_base_) {
+      if (lsn >= buffer_base_ + buffer_.size()) {
+        return Status::InvalidArgument("LSN beyond log end");
+      }
+      ByteView body;
+      size_t frame_len = 0;
+      Status st = ParseFrame(buffer_, lsn - buffer_base_, &body, &frame_len);
+      if (st.IsNotFound()) return Status::Corruption("LSN points at padding");
+      MSPLOG_RETURN_IF_ERROR(st);
+      Status ds = LogRecord::Decode(body, out);
+      out->lsn = lsn;
+      return ds;
+    }
+    if (!pending_.empty() && lsn >= pending_base_ &&
+        lsn < pending_base_ + pending_.size()) {
+      ByteView body;
+      size_t frame_len = 0;
+      Status st = ParseFrame(pending_, lsn - pending_base_, &body, &frame_len);
+      if (st.IsNotFound()) return Status::Corruption("LSN points at padding");
+      MSPLOG_RETURN_IF_ERROR(st);
+      Status ds = LogRecord::Decode(body, out);
+      out->lsn = lsn;
+      return ds;
+    }
+  }
+  // Durable region: read header then body from disk.
+  Bytes header;
+  MSPLOG_RETURN_IF_ERROR(disk_->ReadAt(file_name_, lsn, kFrameHeaderBytes,
+                                       &header));
+  if (header.size() < kFrameHeaderBytes) {
+    return Status::Corruption("truncated frame header on disk");
+  }
+  uint32_t len = GetU32At(header, 0);
+  if (len == 0) return Status::Corruption("LSN points at padding");
+  Bytes body;
+  MSPLOG_RETURN_IF_ERROR(disk_->ReadAt(file_name_, lsn + kFrameHeaderBytes,
+                                       len, &body));
+  if (body.size() < len) return Status::Corruption("truncated frame body");
+  uint32_t stored = crc32c::Unmask(GetU32At(header, 4));
+  if (crc32c::Compute(body) != stored) {
+    return Status::Corruption("frame CRC mismatch");
+  }
+  Status ds = LogRecord::Decode(body, out);
+  out->lsn = lsn;
+  return ds;
+}
+
+uint64_t LogFile::durable_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return durable_end_;
+}
+
+uint64_t LogFile::end_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return buffer_base_ + buffer_.size();
+}
+
+uint64_t LogFile::ReclaimUpTo(uint64_t lsn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  uint64_t target = std::min(lsn, durable_end_);
+  target = target / sector_bytes_ * sector_bytes_;  // sector floor
+  if (target <= reclaimed_end_) return 0;
+  uint64_t base = reclaimed_end_;
+  reclaimed_end_ = target;
+  lk.unlock();
+  disk_->PunchHole(file_name_, base, target - base);
+  return target - base;
+}
+
+uint64_t LogFile::reclaimed_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return reclaimed_end_;
+}
+
+void LogFile::Crash() {
+  std::lock_guard<std::mutex> lk(mu_);
+  crashed_ = true;
+  buffer_.clear();
+  cv_.notify_all();
+}
+
+void LogFile::BatchFlusherLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    cv_.wait(lk, [&] { return stop_ || flush_requested_; });
+    if (stop_) break;
+    flush_requested_ = false;
+    // Batch window: let more flush requests accumulate before the write.
+    lk.unlock();
+    env_->SleepModelMs(options_.batch_timeout_ms);
+    lk.lock();
+    if (stop_ || crashed_) continue;
+    if (flush_in_progress_) {
+      cv_.wait(lk, [&] { return !flush_in_progress_ || stop_; });
+      if (stop_) break;
+    }
+    DoFlushLocked(lk);
+  }
+}
+
+}  // namespace msplog

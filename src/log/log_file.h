@@ -1,0 +1,132 @@
+// LogFile — the single physical log shared by all sessions of an MSP (§1.3).
+//
+// Records are framed as [u32 len][u32 masked CRC32C][body]. Appends go to an
+// in-memory buffer (volatile: lost on crash); a flush pads the buffer to a
+// 512 B sector boundary and writes it as one or more blocks of at most 128
+// sectors, matching §5.2 ("log blocks are aligned at sector boundaries and
+// when a log block is flushed, its last sector may not be full — on average
+// half a sector is wasted on every flush"). A zero length prefix marks
+// padding: readers skip to the next sector boundary.
+//
+// An LSN is the byte offset of a record's frame in the log file. Because
+// flushes insert padding, LSNs are not dense, but they are strictly
+// monotonic, which is all the dependency-vector machinery needs.
+//
+// Batch flushing (§5.5): when enabled, a flush request parks until a timeout
+// (default 8 ms model time, roughly one disk write) so that several requests
+// ride a single physical write.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "log/log_record.h"
+#include "sim/sim_disk.h"
+#include "sim/sim_env.h"
+
+namespace msplog {
+
+struct LogFileOptions {
+  bool batch_flush = false;
+  double batch_timeout_ms = 8.0;
+  uint32_t max_block_sectors = 128;
+  /// Safety valve: a buffer larger than this triggers a background flush
+  /// even without an explicit request (bounds memory under pure optimism).
+  uint64_t max_buffer_bytes = 4 << 20;
+  /// Invoked once per physical write (outside the log mutex) — used by the
+  /// MSP to charge CPU time for issuing an I/O, which is what makes batch
+  /// flushing reduce CPU load as well as disk load (§5.5).
+  std::function<void()> on_physical_write;
+};
+
+class LogFile {
+ public:
+  LogFile(SimEnvironment* env, SimDisk* disk, std::string file_name,
+          LogFileOptions options = LogFileOptions());
+  ~LogFile();
+
+  LogFile(const LogFile&) = delete;
+  LogFile& operator=(const LogFile&) = delete;
+
+  /// Append `rec` to the volatile buffer; returns its LSN. Never blocks on
+  /// I/O (except when the buffer safety valve fires). If `framed_size` is
+  /// non-null it receives the on-log size of the record (frame included).
+  uint64_t Append(const LogRecord& rec, size_t* framed_size = nullptr);
+
+  /// Block until the record that starts at `lsn` is durable.
+  Status FlushUpTo(uint64_t lsn);
+
+  /// Flush everything appended so far.
+  Status FlushAll();
+
+  /// Read the record whose frame starts at `lsn` — served from the volatile
+  /// buffer or from disk as appropriate. Fails with Corruption on a padding
+  /// or garbage offset.
+  Status ReadRecordAt(uint64_t lsn, LogRecord* out);
+
+  /// First offset that is NOT yet durable.
+  uint64_t durable_lsn() const;
+  /// Offset at which the next append will land.
+  uint64_t end_lsn() const;
+  const std::string& file_name() const { return file_name_; }
+  SimDisk* disk() const { return disk_; }
+
+  /// Log-space reclamation: release every durable byte strictly below
+  /// `lsn` (rounded down to a sector boundary). Crash recovery scans start
+  /// at the MSP checkpoint's minimum required position, so everything below
+  /// it is dead weight; the punched range reads back as padding, which the
+  /// scanner skips naturally. Returns the number of bytes reclaimed.
+  uint64_t ReclaimUpTo(uint64_t lsn);
+
+  /// First LSN that has not been reclaimed.
+  uint64_t reclaimed_lsn() const;
+
+  /// Simulate the crash of the owning MSP: the volatile buffer is discarded
+  /// and all flush waiters fail with Status::Crashed. The durable prefix on
+  /// disk is untouched.
+  void Crash();
+
+  /// Stop the batch flusher thread (if any) without losing the buffer.
+  void Stop();
+
+ private:
+  Status DoFlushLocked(std::unique_lock<std::mutex>& lk);
+  void BatchFlusherLoop();
+
+  SimEnvironment* env_;
+  SimDisk* disk_;
+  std::string file_name_;
+  LogFileOptions options_;
+  uint32_t sector_bytes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Bytes buffer_;            ///< not yet handed to a flush
+  uint64_t buffer_base_;    ///< LSN of buffer_[0]
+  Bytes pending_;           ///< handed to an in-flight flush
+  uint64_t pending_base_ = 0;
+  uint64_t durable_end_;    ///< sector-aligned durable extent
+  uint64_t reclaimed_end_ = 0;  ///< prefix released by ReclaimUpTo
+  bool flush_in_progress_ = false;
+  bool flush_requested_ = false;
+  bool crashed_ = false;
+  bool stop_ = false;
+  std::thread batch_thread_;
+};
+
+/// Build the on-disk frame for an encoded record body.
+Bytes FrameRecord(ByteView body);
+
+/// Parse a frame at `data[pos...]`. On success sets `*body_out` and
+/// `*frame_len`. A zero length prefix yields Status::NotFound (padding).
+/// Truncation / CRC mismatch yields Corruption.
+Status ParseFrame(ByteView data, size_t pos, ByteView* body_out,
+                  size_t* frame_len);
+
+}  // namespace msplog

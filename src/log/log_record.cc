@@ -1,0 +1,86 @@
+#include "log/log_record.h"
+
+namespace msplog {
+
+const char* LogRecordTypeName(LogRecordType t) {
+  switch (t) {
+    case LogRecordType::kInvalid: return "Invalid";
+    case LogRecordType::kRequestReceive: return "RequestReceive";
+    case LogRecordType::kReplyReceive: return "ReplyReceive";
+    case LogRecordType::kSharedRead: return "SharedRead";
+    case LogRecordType::kSharedWrite: return "SharedWrite";
+    case LogRecordType::kSharedVarCheckpoint: return "SharedVarCheckpoint";
+    case LogRecordType::kSessionCheckpoint: return "SessionCheckpoint";
+    case LogRecordType::kSessionEnd: return "SessionEnd";
+    case LogRecordType::kMspCheckpoint: return "MspCheckpoint";
+    case LogRecordType::kRecoveredState: return "RecoveredState";
+    case LogRecordType::kEos: return "Eos";
+    case LogRecordType::kSessionStart: return "SessionStart";
+  }
+  return "Unknown";
+}
+
+Bytes LogRecord::Encode() const {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutBytes(session_id);
+  w.PutBytes(var_id);
+  w.PutVarint(seqno);
+  w.PutBytes(target);
+  w.PutBytes(payload);
+  w.PutU8(has_dv ? 1 : 0);
+  if (has_dv) dv.EncodeTo(&w);
+  w.PutVarint(prev_lsn);
+  w.PutBytes(peer);
+  w.PutU32(peer_epoch);
+  w.PutVarint(peer_recovered_sn);
+  w.PutU8(aux);
+  return w.Take();
+}
+
+Status LogRecord::Decode(ByteView body, LogRecord* out) {
+  BinaryReader r(body);
+  uint8_t type = 0;
+  MSPLOG_RETURN_IF_ERROR(r.GetU8(&type));
+  if (type == 0 || type > static_cast<uint8_t>(LogRecordType::kSessionStart)) {
+    return Status::Corruption("bad log record type");
+  }
+  out->type = static_cast<LogRecordType>(type);
+  MSPLOG_RETURN_IF_ERROR(r.GetBytes(&out->session_id));
+  MSPLOG_RETURN_IF_ERROR(r.GetBytes(&out->var_id));
+  MSPLOG_RETURN_IF_ERROR(r.GetVarint(&out->seqno));
+  MSPLOG_RETURN_IF_ERROR(r.GetBytes(&out->target));
+  MSPLOG_RETURN_IF_ERROR(r.GetBytes(&out->payload));
+  uint8_t has_dv = 0;
+  MSPLOG_RETURN_IF_ERROR(r.GetU8(&has_dv));
+  out->has_dv = has_dv != 0;
+  if (out->has_dv) {
+    MSPLOG_RETURN_IF_ERROR(out->dv.DecodeFrom(&r));
+  } else {
+    out->dv.Clear();
+  }
+  MSPLOG_RETURN_IF_ERROR(r.GetVarint(&out->prev_lsn));
+  MSPLOG_RETURN_IF_ERROR(r.GetBytes(&out->peer));
+  MSPLOG_RETURN_IF_ERROR(r.GetU32(&out->peer_epoch));
+  MSPLOG_RETURN_IF_ERROR(r.GetVarint(&out->peer_recovered_sn));
+  MSPLOG_RETURN_IF_ERROR(r.GetU8(&out->aux));
+  return Status::OK();
+}
+
+std::string LogRecord::ToString() const {
+  std::string out = LogRecordTypeName(type);
+  out += "@" + std::to_string(lsn);
+  if (!session_id.empty()) out += " se=" + session_id;
+  if (!var_id.empty()) out += " sv=" + var_id;
+  if (seqno) out += " seq=" + std::to_string(seqno);
+  if (!target.empty()) out += " target=" + target;
+  if (has_dv) out += " dv=" + dv.ToString();
+  if (prev_lsn) out += " prev=" + std::to_string(prev_lsn);
+  if (!peer.empty()) {
+    out += " peer=" + peer + " ep=" + std::to_string(peer_epoch) +
+           " rsn=" + std::to_string(peer_recovered_sn);
+  }
+  return out;
+}
+
+}  // namespace msplog

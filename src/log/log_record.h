@@ -1,0 +1,95 @@
+// Log record model for the single physical log shared by all sessions of an
+// MSP (§1.3, §3). Every nondeterministic event is captured by one of these
+// record types; together with deterministic service-method re-execution they
+// make the business state reconstructible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "recovery/dependency_vector.h"
+
+namespace msplog {
+
+enum class LogRecordType : uint8_t {
+  kInvalid = 0,
+  /// A client request received over a session (§3.1). Nondeterministic:
+  /// carries the payload and, for intra-domain senders, the attached DV.
+  kRequestReceive = 1,
+  /// A reply received for an outgoing call made by a session (§2.1, §4.1
+  /// replay rule: "requests to other MSPs are not sent, and their reply is
+  /// read from the log").
+  kReplyReceive = 2,
+  /// Value logging of a shared-variable read (§3.3): the value *and* the
+  /// variable's DV, so a recovering reader needs nobody else.
+  kSharedRead = 3,
+  /// Value logging of a shared-variable write (§3.3): the new value, the
+  /// writer session's DV, and the LSN of the previous write record for the
+  /// same variable (backward chain for undo recovery).
+  kSharedWrite = 4,
+  /// Shared-variable checkpoint (§3.3): the value after a distributed log
+  /// flush, so it can never be an orphan. Breaks the backward chain.
+  kSharedVarCheckpoint = 5,
+  /// Session checkpoint (§3.2): session variables, buffered reply, next
+  /// expected request seqno, outgoing sessions' next available seqnos.
+  kSessionCheckpoint = 6,
+  /// Marks the end of a session's log records (§3.2).
+  kSessionEnd = 7,
+  /// MSP fuzzy checkpoint (§3.4): recovered state numbers + the LSN of each
+  /// session's and each shared variable's most recent checkpoint.
+  kMspCheckpoint = 8,
+  /// A recovered state number learned from a peer's recovery broadcast (§4).
+  kRecoveredState = 9,
+  /// End-of-skip (§4.1): points back to the orphan log record where a
+  /// session's orphan recovery stopped; the range is invisible thereafter.
+  kEos = 10,
+  /// Session start (client's first request created the session).
+  kSessionStart = 11,
+};
+
+const char* LogRecordTypeName(LogRecordType t);
+
+/// One physical log record. Which fields are meaningful depends on `type`;
+/// unused fields encode compactly (empty strings / zero varints).
+struct LogRecord {
+  LogRecordType type = LogRecordType::kInvalid;
+  /// Owning session (empty for shared-variable / MSP-level records).
+  std::string session_id;
+  /// Shared variable name (kSharedRead/kSharedWrite/kSharedVarCheckpoint).
+  std::string var_id;
+  /// kRequestReceive: the request sequence number.
+  /// kReplyReceive: the outgoing request's sequence number.
+  uint64_t seqno = 0;
+  /// kRequestReceive: requested service method name.
+  /// kReplyReceive: the target MSP of the outgoing call.
+  std::string target;
+  /// Request argument / reply value / shared value / checkpoint blob.
+  Bytes payload;
+  /// Attached or owning DV (meaning depends on type). `has_dv` false means
+  /// no DV was attached (e.g. a pessimistically logged cross-domain message).
+  bool has_dv = false;
+  DependencyVector dv;
+  /// kSharedWrite: LSN of the previous write record of the same variable
+  /// (0 = chain start). kEos: LSN of the orphan log record pointed back to.
+  uint64_t prev_lsn = 0;
+  /// kRecoveredState: which peer recovered, ending which epoch, up to where.
+  std::string peer;
+  uint32_t peer_epoch = 0;
+  uint64_t peer_recovered_sn = 0;
+  /// Small auxiliary value. kReplyReceive: the ReplyCode of the logged
+  /// reply, so replay reproduces application errors faithfully.
+  uint8_t aux = 0;
+
+  /// Set by the log on append / scan; not part of the encoded body.
+  uint64_t lsn = 0;
+
+  Bytes Encode() const;
+  static Status Decode(ByteView body, LogRecord* out);
+
+  std::string ToString() const;
+};
+
+}  // namespace msplog

@@ -1,0 +1,91 @@
+#include "log/position_stream.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+
+namespace msplog {
+
+PositionStream::PositionStream(SimDisk* disk, std::string file,
+                               size_t buffer_capacity)
+    : disk_(disk), file_(std::move(file)), buffer_capacity_(buffer_capacity) {}
+
+void PositionStream::Add(uint64_t lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  positions_.push_back(lsn);
+  if (positions_.size() - persisted_count_ >= buffer_capacity_) {
+    FlushBufferLocked();
+  }
+}
+
+void PositionStream::FlushBufferLocked() {
+  if (persisted_count_ == positions_.size()) return;
+  BinaryWriter w;
+  for (size_t i = persisted_count_; i < positions_.size(); ++i) {
+    w.PutU64(positions_[i]);
+  }
+  disk_->Append(file_, w.buffer());
+  persisted_count_ = positions_.size();
+}
+
+std::vector<uint64_t> PositionStream::All() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return positions_;
+}
+
+size_t PositionStream::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return positions_.size();
+}
+
+void PositionStream::Truncate() {
+  std::lock_guard<std::mutex> lk(mu_);
+  positions_.clear();
+  persisted_count_ = 0;
+  disk_->Truncate(file_, 0);
+}
+
+void PositionStream::RemoveRange(uint64_t from_lsn, uint64_t to_lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  positions_.erase(std::remove_if(positions_.begin(), positions_.end(),
+                                  [&](uint64_t p) {
+                                    return p >= from_lsn && p <= to_lsn;
+                                  }),
+                   positions_.end());
+  // Rewrite the persisted prefix so skipped records stay invisible even if
+  // the file is consulted later. Rare operation (orphan recovery end).
+  disk_->Truncate(file_, 0);
+  persisted_count_ = 0;
+  FlushBufferLocked();
+}
+
+void PositionStream::ReplaceAll(std::vector<uint64_t> positions) {
+  std::lock_guard<std::mutex> lk(mu_);
+  positions_ = std::move(positions);
+  disk_->Truncate(file_, 0);
+  persisted_count_ = 0;  // re-persisted lazily as the buffer refills
+}
+
+void PositionStream::Discard() {
+  std::lock_guard<std::mutex> lk(mu_);
+  positions_.clear();
+  persisted_count_ = 0;
+  disk_->Delete(file_);
+}
+
+Status PositionStream::LoadPersisted(std::vector<uint64_t>* out) const {
+  out->clear();
+  if (!disk_->Exists(file_)) return Status::OK();
+  Bytes raw;
+  MSPLOG_RETURN_IF_ERROR(
+      disk_->ReadAt(file_, 0, disk_->FileSize(file_), &raw));
+  BinaryReader r(raw);
+  while (!r.AtEnd()) {
+    uint64_t v = 0;
+    MSPLOG_RETURN_IF_ERROR(r.GetU64(&v));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace msplog

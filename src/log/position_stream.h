@@ -1,0 +1,65 @@
+// PositionStream (§3.2) — per-session list of the positions (LSNs) of the
+// session's log records since its latest checkpoint, kept so that a
+// session's records can be extracted from the shared physical log without
+// rescanning it. Positions accumulate in an in-memory buffer and are
+// appended to a small disk file only when the buffer fills, so the normal-
+// execution cost is negligible. The stream is truncated to zero at each
+// session checkpoint and discarded at session end. After an MSP crash the
+// in-memory part is lost and the whole stream is reconstructed by the
+// analysis scan.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/sim_disk.h"
+
+namespace msplog {
+
+class PositionStream {
+ public:
+  PositionStream(SimDisk* disk, std::string file,
+                 size_t buffer_capacity = 1024);
+
+  /// Record the position of a new log record; flushes the position buffer
+  /// to disk when it reaches capacity.
+  void Add(uint64_t lsn);
+
+  /// All positions currently in the stream (persisted + buffered), in order.
+  std::vector<uint64_t> All() const;
+
+  size_t size() const;
+
+  /// Drop every position (session checkpoint): truncates the disk file.
+  void Truncate();
+
+  /// Remove all positions in [from_lsn, to_lsn] — the skip range between an
+  /// orphan log record and its EOS record (§4.1). Rewrites the disk file.
+  void RemoveRange(uint64_t from_lsn, uint64_t to_lsn);
+
+  /// Replace the whole stream (crash-recovery reconstruction, §4.3).
+  /// Does not touch the disk file; the stream restarts memory-only.
+  void ReplaceAll(std::vector<uint64_t> positions);
+
+  /// Delete the backing file (session end).
+  void Discard();
+
+  /// Read back only what is persisted on disk (tests / fidelity checks).
+  Status LoadPersisted(std::vector<uint64_t>* out) const;
+
+ private:
+  void FlushBufferLocked();
+
+  SimDisk* disk_;
+  std::string file_;
+  size_t buffer_capacity_;
+
+  mutable std::mutex mu_;
+  std::vector<uint64_t> positions_;  ///< full stream
+  size_t persisted_count_ = 0;       ///< prefix of positions_ already on disk
+};
+
+}  // namespace msplog

@@ -1,0 +1,1306 @@
+#include "msp/msp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "msp/exec_context.h"
+
+namespace msplog {
+
+namespace {
+std::string PosFileName(const std::string& msp, const std::string& session) {
+  return "pos/" + msp + "/" + session;
+}
+}  // namespace
+
+Msp::Msp(SimEnvironment* env, SimNetwork* network, SimDisk* disk,
+         DomainDirectory* directory, MspConfig config)
+    : env_(env),
+      network_(network),
+      disk_(disk),
+      directory_(directory),
+      config_(std::move(config)),
+      anchor_(disk, config_.id + ".anchor") {}
+
+Msp::~Msp() {
+  if (state_.load() == State::kRunning) Shutdown();
+}
+
+void Msp::RegisterMethod(const std::string& name, ServiceMethod fn) {
+  methods_[name] = std::move(fn);
+}
+
+void Msp::RegisterSharedVariable(const std::string& name, Bytes initial) {
+  std::lock_guard<std::mutex> lk(vars_mu_);
+  shared_vars_[name] = std::make_shared<SharedVariable>(name, std::move(initial));
+}
+
+void Msp::ChargeCpu(double model_ms) {
+  if (model_ms <= 0) return;
+  if (config_.single_core_cpu) {
+    std::lock_guard<std::mutex> lk(cpu_mu_);
+    env_->SleepModelMs(model_ms);
+  } else {
+    env_->SleepModelMs(model_ms);
+  }
+}
+
+bool Msp::IntraDomain(const std::string& other) const {
+  return directory_->SameDomain(config_.id, other);
+}
+
+int64_t Msp::RealWaitMs(double model_ms) const {
+  if (env_->time_scale() <= 0.0) return 2;
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(model_ms * env_->time_scale()));
+}
+
+std::shared_ptr<Session> Msp::GetSession(const std::string& id) const {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+Status Msp::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  State st = state_.load();
+  if (st == State::kRunning || st == State::kRecovering) {
+    return Status::InvalidArgument("MSP already running");
+  }
+
+  LogFileOptions lopt;
+  lopt.batch_flush = config_.batch_flush;
+  lopt.batch_timeout_ms = config_.batch_timeout_ms;
+  if (config_.cpu_per_flush_ms > 0) {
+    lopt.on_physical_write = [this] { ChargeCpu(config_.cpu_per_flush_ms); };
+  }
+  log_ = std::make_unique<LogFile>(env_, disk_, config_.id + ".log", lopt);
+  pool_ = std::make_unique<ThreadPool>(config_.thread_pool_size);
+  control_pool_ = std::make_unique<ThreadPool>(2);
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    sessions_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(table_mu_);
+    recovered_table_.Clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(watermark_mu_);
+    flushed_watermark_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(cp_mu_);
+    cp_stop_ = false;
+  }
+  last_msp_cp_log_end_ = 0;
+
+  if (config_.mode == RecoveryMode::kPsession) {
+    psession_db_ = std::make_unique<KvDb>(env_, disk_, config_.id + ".db");
+    MSPLOG_RETURN_IF_ERROR(psession_db_->Recover());
+  }
+
+  std::vector<std::shared_ptr<Session>> to_recover;
+  if (config_.mode == RecoveryMode::kLogBased) {
+    // Crash recovery runs on EVERY start — a restarted process cannot tell
+    // whether its previous incarnation crashed before flushing anything, and
+    // reusing an epoch after such a crash would let lost state numbers be
+    // reissued. A genuinely fresh boot just bumps to epoch 1 with an empty
+    // scan, which is harmless.
+    state_.store(State::kRecovering);
+    MSPLOG_RETURN_IF_ERROR(CrashRecovery());
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (auto& [id, s] : sessions_) {
+      if (s->recovering) to_recover.push_back(s);
+    }
+  }
+
+  mailbox_ = network_->Register(config_.id);
+  state_.store(State::kRunning);
+  dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+  if (config_.checkpoint_daemon && config_.mode == RecoveryMode::kLogBased) {
+    checkpoint_thread_ = std::thread([this] { CheckpointDaemonLoop(); });
+  }
+
+  // §4.3: sessions recover in parallel while new sessions are accepted.
+  // (sequential_recovery replays them one at a time — the ablation that
+  // quantifies the parallel-recovery contribution.)
+  if (config_.sequential_recovery) {
+    auto all = to_recover;
+    pool_->Submit([this, all] {
+      for (auto& sp : all) SessionRecoveryTask(sp);
+    });
+  } else {
+    for (auto& s : to_recover) {
+      auto sp = s;
+      pool_->Submit([this, sp] { SessionRecoveryTask(sp); });
+    }
+  }
+  return Status::OK();
+}
+
+void Msp::Crash() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  CrashLocked();
+}
+
+void Msp::CrashLocked() {
+  State prev = state_.exchange(State::kCrashed);
+  if (prev == State::kCrashed || prev == State::kStopped) return;
+
+  network_->Unregister(config_.id);
+  if (log_) log_->Crash();
+  {
+    std::lock_guard<std::mutex> lk(calls_mu_);
+    for (auto& [key, pc] : pending_calls_) {
+      std::lock_guard<std::mutex> plk(pc->mu);
+      pc->failed = true;
+      pc->cv.notify_all();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(flush_mu_);
+    for (auto& [key, pf] : pending_flushes_) {
+      std::lock_guard<std::mutex> plk(pf->mu);
+      pf->failed = true;
+      pf->cv.notify_all();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(cp_mu_);
+    cp_stop_ = true;
+  }
+  cp_cv_.notify_all();
+
+  if (pool_) pool_->Abort();
+  if (control_pool_) control_pool_->Abort();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+
+  // Everything volatile dies with the process. The SimDisk content — the
+  // durable log prefix, position-stream files, the anchor, kvdb WAL —
+  // survives for the next Start().
+  log_.reset();
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    sessions_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(vars_mu_);
+    for (auto& [name, v] : shared_vars_) {
+      std::unique_lock<std::shared_mutex> vlk(v->rw);
+      v->value = v->initial_value;
+      v->dv.Clear();
+      v->state_number = 0;
+      v->last_write_lsn = 0;
+      v->last_checkpoint_lsn = 0;
+      v->writes_since_cp = 0;
+      v->msp_cps_since_cp = 0;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(calls_mu_);
+    pending_calls_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(flush_mu_);
+    pending_flushes_.clear();
+  }
+  psession_db_.reset();
+  pool_.reset();
+  control_pool_.reset();
+}
+
+void Msp::Shutdown() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (state_.load() != State::kRunning) return;
+  // Make everything durable, then tear down like a crash: a subsequent
+  // Start() recovers the complete state from the log.
+  if (log_) log_->FlushAll();
+  CrashLocked();
+  state_.store(State::kStopped);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void Msp::DispatchLoop() {
+  Packet p;
+  while (mailbox_->Pop(&p)) {
+    Message m;
+    if (!Message::Decode(p.wire, &m).ok()) continue;  // garbage: drop
+    switch (m.type) {
+      case MessageType::kRequest:
+        HandleRequestMsg(std::move(m));
+        break;
+      case MessageType::kReply:
+        HandleReplyMsg(std::move(m));
+        break;
+      case MessageType::kFlushRequest: {
+        Message copy = m;
+        control_pool_->Submit([this, copy] { HandleFlushRequest(copy); });
+        break;
+      }
+      case MessageType::kFlushReply:
+        HandleFlushReply(std::move(m));
+        break;
+      case MessageType::kRecoveryAnnounce:
+        HandleRecoveryAnnounce(std::move(m));
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void Msp::SendBusyReply(const Message& req) {
+  Message r;
+  r.type = MessageType::kReply;
+  r.sender = config_.id;
+  r.session_id = req.session_id;
+  r.seqno = req.seqno;
+  r.reply_code = ReplyCode::kBusy;
+  network_->Send(config_.id, req.sender, r.Encode());
+}
+
+void Msp::HandleRequestMsg(Message m) {
+  if (state_.load() != State::kRunning) {
+    SendBusyReply(m);
+    return;
+  }
+  std::shared_ptr<Session> s;
+  bool arm = false;
+  bool busy = false;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    auto it = sessions_.find(m.session_id);
+    if (it == sessions_.end()) {
+      s = std::make_shared<Session>(m.session_id, m.sender, disk_,
+                                    PosFileName(config_.id, m.session_id));
+      sessions_[m.session_id] = s;
+    } else {
+      s = it->second;
+    }
+    if (s->ended) {
+      // A request to an ended session gets a definitive error rather than
+      // silence — the client should not retry forever.
+      Message r;
+      r.type = MessageType::kReply;
+      r.sender = config_.id;
+      r.session_id = m.session_id;
+      r.seqno = m.seqno;
+      r.reply_code = ReplyCode::kAppError;
+      r.payload = "session ended";
+      network_->Send(config_.id, m.sender, r.Encode());
+      return;
+    }
+    if (s->recovering) {
+      busy = true;  // §5.4: client sleeps 100 ms and resends
+    } else {
+      s->pending_requests.push_back(std::move(m));
+      if (!s->worker_active) {
+        s->worker_active = true;
+        arm = true;
+      }
+    }
+  }
+  if (busy) {
+    SendBusyReply(m);
+    return;
+  }
+  if (arm) {
+    pool_->Submit([this, s] { SessionWorker(s); });
+  }
+}
+
+void Msp::SessionWorker(std::shared_ptr<Session> s) {
+  while (true) {
+    Message m;
+    bool have_msg = false;
+    bool check_orphan = false;
+    bool take_cp = false;
+    {
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      if (state_.load() != State::kRunning) {
+        s->worker_active = false;
+        return;
+      }
+      if (s->needs_orphan_check) {
+        s->needs_orphan_check = false;
+        check_orphan = true;
+      } else if (s->needs_checkpoint) {
+        s->needs_checkpoint = false;
+        take_cp = true;
+      } else if (!s->pending_requests.empty()) {
+        m = std::move(s->pending_requests.front());
+        s->pending_requests.pop_front();
+        have_msg = true;
+      } else {
+        s->worker_active = false;
+        return;
+      }
+    }
+    if (check_orphan) {
+      if (SessionIsOrphan(s.get())) {
+        (void)RecoverSessionReplay(s.get());
+      }
+      continue;
+    }
+    if (take_cp) {
+      if (config_.mode == RecoveryMode::kLogBased && !s->ended &&
+          s->first_lsn.load() != 0) {
+        Status st = TakeSessionCheckpoint(s.get());
+        if (st.IsOrphan()) (void)RecoverSessionReplay(s.get());
+      }
+      continue;
+    }
+    if (have_msg) ProcessRequest(s, m);
+  }
+}
+
+void Msp::ProcessRequest(const std::shared_ptr<Session>& s, const Message& m) {
+  Status st = config_.mode == RecoveryMode::kLogBased
+                  ? ProcessRequestLogBased(s.get(), m)
+                  : ProcessRequestBaseline(s.get(), m);
+  (void)st;  // kCrashed/kTimedOut: client resends; nothing more to do here
+}
+
+// ---------------------------------------------------------------------------
+// Request processing — log-based mode (§3)
+// ---------------------------------------------------------------------------
+
+Status Msp::ProcessRequestLogBased(Session* s, const Message& m) {
+  // Interception point (§4.1): lazy orphan check on request receive.
+  if (SessionIsOrphan(s)) {
+    MSPLOG_RETURN_IF_ERROR(RecoverSessionReplay(s));
+  }
+
+  // Duplicate / out-of-order detection (§3.1).
+  if (m.seqno < s->next_expected_seqno) {
+    if (s->buffered_reply.valid && s->buffered_reply.seqno == m.seqno) {
+      Status st = SendReply(s, s->buffered_reply.code,
+                            s->buffered_reply.payload, m.seqno);
+      if (st.IsOrphan()) return RecoverSessionReplay(s);
+      return st;
+    }
+    return Status::OK();  // stale duplicate
+  }
+  if (m.seqno > s->next_expected_seqno) return Status::OK();  // out of order
+
+  // Fig. 7, receive side: an orphan message is discarded outright; the
+  // sender session will be rolled back and will resend. We extend the
+  // paper's silent discard with an ORPHAN NOTICE carrying the recovered
+  // state number that condemned the message — without it, a sender that
+  // missed the recovery broadcast retries forever.
+  if (m.has_dv) {
+    std::optional<RecoveredStateTable::OrphanWitness> witness;
+    {
+      std::lock_guard<std::mutex> lk(table_mu_);
+      witness = recovered_table_.FindOrphanEntry(m.dv);
+    }
+    if (witness) {
+      env_->stats().orphans_detected.fetch_add(1);
+      Message r;
+      r.type = MessageType::kReply;
+      r.sender = config_.id;
+      r.session_id = s->id;
+      r.seqno = m.seqno;
+      r.reply_code = ReplyCode::kOrphanNotice;
+      r.payload = witness->msp;  // which peer's recovery condemned it
+      r.rec_epoch = witness->epoch;
+      r.rec_sn = witness->recovered_sn;
+      network_->Send(config_.id, m.sender, r.Encode());
+      return Status::OK();
+    }
+  }
+
+  if (m.method == "__end_session") {
+    // Cascade: end the outgoing sessions this session started (§2.1 — a
+    // session is started AND ended by a client request). Best effort; an
+    // unreachable target's session is cleaned up by its own end-of-life
+    // handling when requests for it error out.
+    for (auto& [target, o] : s->outgoing) {
+      Message endreq;
+      endreq.type = MessageType::kRequest;
+      endreq.sender = config_.id;
+      endreq.session_id = o.session_id;
+      endreq.seqno = o.next_seqno;
+      endreq.method = "__end_session";
+      Message rep;
+      (void)CallRoundTrip(target, endreq, /*check_orphan_reply=*/false, &rep,
+                          /*max_sends=*/3);
+    }
+    LogRecord end;
+    end.type = LogRecordType::kSessionEnd;
+    end.session_id = s->id;
+    uint64_t lsn = log_->Append(end);
+    // The end record must survive a crash or the session gets resurrected.
+    MSPLOG_RETURN_IF_ERROR(log_->FlushUpTo(lsn));
+    s->positions.Discard();
+    {
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      s->ended = true;
+    }
+    return SendReply(s, ReplyCode::kOk, "", m.seqno);
+  }
+
+  // First activity of a fresh session: mark its start in the log.
+  if (s->first_lsn.load() == 0) {
+    LogRecord start;
+    start.type = LogRecordType::kSessionStart;
+    start.session_id = s->id;
+    start.target = s->client;
+    s->first_lsn.store(log_->Append(start));
+  }
+
+  // Log the nondeterministic event: the request receive.
+  {
+    LogRecord rec;
+    rec.type = LogRecordType::kRequestReceive;
+    rec.seqno = m.seqno;
+    rec.target = m.method;
+    rec.payload = m.payload;
+    if (m.has_dv) {
+      rec.has_dv = true;
+      rec.dv = m.dv;
+    }
+    AppendSessionRecord(s, std::move(rec));
+    if (m.has_dv) s->dv.Merge(m.dv);
+  }
+
+  // Execute the service method.
+  ExecContext ctx(this, s, ExecContext::Mode::kNormal, m.seqno);
+  Bytes result;
+  Status st = InvokeMethod(m.method, &ctx, m.payload, &result);
+  if (st.IsOrphan()) return RecoverSessionReplay(s);
+  if (st.IsCrashed() || st.IsTimedOut()) return st;
+
+  ReplyCode code = st.ok() ? ReplyCode::kOk : ReplyCode::kAppError;
+  Bytes payload = st.ok() ? std::move(result) : Bytes(st.ToString());
+
+  Status rst = SendReply(s, code, payload, m.seqno);
+  if (rst.IsOrphan()) return RecoverSessionReplay(s);
+  MSPLOG_RETURN_IF_ERROR(rst);
+
+  s->buffered_reply = {true, m.seqno, code, payload};
+  s->next_expected_seqno = m.seqno + 1;
+
+  // Session checkpoint, only between requests (§3.2).
+  if (config_.session_checkpoint_threshold_bytes > 0 &&
+      s->bytes_logged_since_cp >= config_.session_checkpoint_threshold_bytes) {
+    Status cst = TakeSessionCheckpoint(s);
+    if (cst.IsOrphan()) return RecoverSessionReplay(s);
+  }
+
+  if (after_request_hook_) after_request_hook_(this, s->id, m.seqno);
+  return Status::OK();
+}
+
+Status Msp::InvokeMethod(const std::string& method, ExecContext* ctx,
+                         const Bytes& arg, Bytes* result) {
+  auto it = methods_.find(method);
+  if (it == methods_.end()) {
+    return Status::InvalidArgument("no such method: " + method);
+  }
+  if (config_.method_overhead_ms > 0) ctx->Compute(config_.method_overhead_ms);
+  return it->second(ctx, arg, result);
+}
+
+Status Msp::SendReply(Session* s, ReplyCode code, const Bytes& payload,
+                      uint64_t seqno) {
+  Message r;
+  r.type = MessageType::kReply;
+  r.sender = config_.id;
+  r.session_id = s->id;
+  r.seqno = seqno;
+  r.reply_code = code;
+  r.payload = payload;
+  if (config_.mode == RecoveryMode::kLogBased) {
+    if (IntraDomain(s->client)) {
+      // Optimistic: attach the sender session's DV (Fig. 7) — or the whole
+      // process's DV in the §3.2-strawman mode.
+      r.has_dv = true;
+      r.dv = config_.per_session_dv ? s->dv : MspWideDv();
+      env_->stats().dv_entries_attached.fetch_add(r.dv.entry_count());
+    } else {
+      // Pessimistic: output messages must never become orphans (§2.3).
+      MSPLOG_RETURN_IF_ERROR(
+          DistributedFlush(config_.per_session_dv ? s->dv : MspWideDv()));
+    }
+  }
+  network_->Send(config_.id, s->client, r.Encode());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Logging primitives
+// ---------------------------------------------------------------------------
+
+uint64_t Msp::AppendSessionRecord(Session* s, LogRecord rec) {
+  rec.session_id = s->id;
+  size_t framed = 0;
+  uint64_t lsn = log_->Append(rec, &framed);
+  s->positions.Add(lsn);
+  s->state_number = lsn;
+  s->dv.Set(config_.id, StateId{epoch_.load(), lsn});
+  s->bytes_logged_since_cp += framed;
+  return lsn;
+}
+
+std::shared_ptr<SharedVariable> Msp::GetOrCreateSharedVar(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lk(vars_mu_);
+  auto it = shared_vars_.find(name);
+  if (it != shared_vars_.end()) return it->second;
+  auto v = std::make_shared<SharedVariable>(name, Bytes());
+  shared_vars_[name] = v;
+  return v;
+}
+
+Status Msp::SharedReadImpl(Session* s, const std::string& name, Bytes* out) {
+  auto var = GetOrCreateSharedVar(name);
+  if (config_.mode != RecoveryMode::kLogBased) {
+    std::shared_lock<std::shared_mutex> lk(var->rw);
+    *out = var->value;
+    return Status::OK();
+  }
+  // Interception point: the reader session's own orphan status.
+  if (SessionIsOrphan(s)) return Status::Orphan("session " + s->id);
+
+  // Fig. 8, read: check whether the variable's value is an orphan; if so,
+  // the reader itself rolls it back along the backward chain (§4.2).
+  std::shared_lock<std::shared_mutex> rlk(var->rw);
+  if (DvIsOrphan(var->dv)) {
+    rlk.unlock();
+    std::unique_lock<std::shared_mutex> wlk(var->rw);
+    if (DvIsOrphan(var->dv)) {
+      env_->stats().orphans_detected.fetch_add(1);
+      MSPLOG_RETURN_IF_ERROR(UndoSharedVariable(var.get()));
+    }
+    // Value logging under the exclusive lock — correct, just conservative.
+    LogRecord rec;
+    rec.type = LogRecordType::kSharedRead;
+    rec.var_id = name;
+    rec.payload = var->value;
+    rec.has_dv = true;
+    rec.dv = var->dv;
+    AppendSessionRecord(s, rec);
+    s->dv.Merge(var->dv);
+    *out = var->value;
+    return Status::OK();
+  }
+  LogRecord rec;
+  rec.type = LogRecordType::kSharedRead;
+  rec.var_id = name;
+  rec.payload = var->value;
+  rec.has_dv = true;
+  rec.dv = var->dv;
+  AppendSessionRecord(s, rec);
+  s->dv.Merge(var->dv);
+  *out = var->value;
+  return Status::OK();
+}
+
+Status Msp::SharedWriteImpl(Session* s, const std::string& name,
+                            ByteView value) {
+  auto var = GetOrCreateSharedVar(name);
+  if (config_.mode != RecoveryMode::kLogBased) {
+    std::unique_lock<std::shared_mutex> lk(var->rw);
+    var->value = Bytes(value);
+    return Status::OK();
+  }
+  if (SessionIsOrphan(s)) return Status::Orphan("session " + s->id);
+
+  std::unique_lock<std::shared_mutex> lk(var->rw);
+  // Fig. 8, write: the writer need not check whether the existing value is
+  // an orphan — it is being replaced. The write record carries the writer
+  // session's DV, the new value, and the LSN of the previous write record
+  // (backward chain).
+  LogRecord rec;
+  rec.type = LogRecordType::kSharedWrite;
+  rec.session_id = s->id;
+  rec.var_id = name;
+  rec.payload = Bytes(value);
+  rec.has_dv = true;
+  rec.dv = s->dv;
+  rec.prev_lsn = var->last_write_lsn;
+  size_t framed = 0;
+  uint64_t lsn = log_->Append(rec, &framed);
+  // The write record belongs to the *variable's* recovery, not the session's
+  // replay: it is not added to the position stream and does not change the
+  // session's state number (Fig. 8).
+  s->bytes_logged_since_cp += framed;
+
+  // Refined dependency tracking (§3.3): a write REPLACES the variable's DV
+  // with the writer's; nothing flows back into the writer.
+  var->dv.ReplaceWith(s->dv);
+  var->state_number = lsn;
+  var->last_write_lsn = lsn;
+  var->value = Bytes(value);
+  var->writes_since_cp++;
+
+  if (config_.shared_var_checkpoint_threshold_writes > 0 &&
+      var->writes_since_cp >= config_.shared_var_checkpoint_threshold_writes) {
+    Status st = TakeSharedVarCheckpoint(var.get());
+    if (st.IsOrphan()) {
+      // The variable's value turned out to be an orphan during the
+      // checkpoint flush: roll it back instead of checkpointing (§4.2).
+      env_->stats().orphans_detected.fetch_add(1);
+      MSPLOG_RETURN_IF_ERROR(UndoSharedVariable(var.get()));
+    } else if (!st.ok() && !st.IsCrashed()) {
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+Status Msp::SharedUpdateImpl(Session* s, const std::string& name,
+                             const std::function<Bytes(const Bytes&)>& fn,
+                             Bytes* out) {
+  auto var = GetOrCreateSharedVar(name);
+  if (config_.mode != RecoveryMode::kLogBased) {
+    std::unique_lock<std::shared_mutex> lk(var->rw);
+    var->value = fn(var->value);
+    if (out) *out = var->value;
+    return Status::OK();
+  }
+  if (SessionIsOrphan(s)) return Status::Orphan("session " + s->id);
+
+  // Fused read + write under ONE lock hold: atomic read-modify-write. The
+  // log sees the same two records a ReadShared/WriteShared pair produces
+  // (value-logged read, chained write), so recovery is unchanged; only the
+  // lock scope differs.
+  std::unique_lock<std::shared_mutex> lk(var->rw);
+  if (DvIsOrphan(var->dv)) {
+    env_->stats().orphans_detected.fetch_add(1);
+    MSPLOG_RETURN_IF_ERROR(UndoSharedVariable(var.get()));
+  }
+  LogRecord read;
+  read.type = LogRecordType::kSharedRead;
+  read.var_id = name;
+  read.payload = var->value;
+  read.has_dv = true;
+  read.dv = var->dv;
+  AppendSessionRecord(s, read);
+  s->dv.Merge(var->dv);
+
+  Bytes newval = fn(var->value);
+
+  LogRecord write;
+  write.type = LogRecordType::kSharedWrite;
+  write.session_id = s->id;
+  write.var_id = name;
+  write.payload = newval;
+  write.has_dv = true;
+  write.dv = s->dv;
+  write.prev_lsn = var->last_write_lsn;
+  size_t framed = 0;
+  uint64_t lsn = log_->Append(write, &framed);
+  s->bytes_logged_since_cp += framed;
+
+  var->dv.ReplaceWith(s->dv);
+  var->state_number = lsn;
+  var->last_write_lsn = lsn;
+  var->value = newval;
+  var->writes_since_cp++;
+  if (out) *out = std::move(newval);
+
+  if (config_.shared_var_checkpoint_threshold_writes > 0 &&
+      var->writes_since_cp >= config_.shared_var_checkpoint_threshold_writes) {
+    Status st = TakeSharedVarCheckpoint(var.get());
+    if (st.IsOrphan()) {
+      env_->stats().orphans_detected.fetch_add(1);
+      MSPLOG_RETURN_IF_ERROR(UndoSharedVariable(var.get()));
+    } else if (!st.ok() && !st.IsCrashed()) {
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+Status Msp::UndoSharedVariable(SharedVariable* var) {
+  // Follow the backward chain of write records to the most recent
+  // non-orphan value (§4.2 — undo recovery). The chain breaks at
+  // shared-variable checkpoints, whose values are never orphans.
+  uint64_t lsn = var->last_write_lsn;
+  while (lsn != 0) {
+    LogRecord rec;
+    Status st = log_->ReadRecordAt(lsn, &rec);
+    if (!st.ok()) return st;
+    if (rec.type == LogRecordType::kSharedVarCheckpoint) {
+      var->value = rec.payload;
+      var->dv.Clear();
+      var->state_number = lsn;
+      var->last_write_lsn = lsn;
+      return Status::OK();
+    }
+    if (rec.type != LogRecordType::kSharedWrite) {
+      return Status::Corruption("write chain points at " +
+                                std::string(LogRecordTypeName(rec.type)));
+    }
+    if (!DvIsOrphan(rec.dv)) {
+      var->value = rec.payload;
+      var->dv = rec.dv;
+      var->state_number = lsn;
+      var->last_write_lsn = lsn;
+      return Status::OK();
+    }
+    lsn = rec.prev_lsn;
+  }
+  // Chain exhausted: every logged value was an orphan.
+  var->value = var->initial_value;
+  var->dv.Clear();
+  var->state_number = 0;
+  var->last_write_lsn = 0;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Outgoing calls
+// ---------------------------------------------------------------------------
+
+Status Msp::CallRoundTrip(const std::string& dest, const Message& req,
+                          bool check_orphan_reply, Message* out,
+                          uint32_t max_sends) {
+  if (max_sends == 0) max_sends = config_.max_call_sends;
+  Bytes wire = req.Encode();
+  auto key = std::make_pair(req.session_id, req.seqno);
+  uint32_t sends = 0;
+  while (sends < max_sends) {
+    auto pc = std::make_shared<PendingCall>();
+    {
+      std::lock_guard<std::mutex> lk(calls_mu_);
+      pending_calls_[key] = pc;
+    }
+    network_->Send(config_.id, dest, wire);
+    ++sends;
+    bool got = false;
+    {
+      std::unique_lock<std::mutex> lk(pc->mu);
+      got = pc->cv.wait_for(
+          lk,
+          std::chrono::milliseconds(RealWaitMs(config_.call_resend_timeout_ms)),
+          [&] { return pc->done || pc->failed; });
+    }
+    {
+      std::lock_guard<std::mutex> lk(calls_mu_);
+      auto it = pending_calls_.find(key);
+      if (it != pending_calls_.end() && it->second == pc) {
+        pending_calls_.erase(it);
+      }
+    }
+    if (state_.load() == State::kCrashed || pc->failed) {
+      return Status::Crashed("MSP crashed during call");
+    }
+    if (!got || !pc->done) continue;  // timeout: resend
+    Message& m = pc->reply;
+    if (m.reply_code == ReplyCode::kBusy) {
+      env_->SleepModelMs(config_.busy_backoff_ms);
+      continue;
+    }
+    if (m.reply_code == ReplyCode::kOrphanNotice) {
+      // The callee proved our request carried a lost dependency: absorb the
+      // recovered state number and surface orphan-ness to the session.
+      {
+        std::lock_guard<std::mutex> lk(table_mu_);
+        recovered_table_.Record(m.payload, m.rec_epoch, m.rec_sn);
+      }
+      return Status::Orphan("orphan notice from " + dest);
+    }
+    if (check_orphan_reply && m.has_dv && DvIsOrphan(m.dv)) {
+      // Fig. 7: an orphan message is discarded; the sender recovers and
+      // resends. Keep resending our request until a clean reply arrives.
+      env_->stats().orphans_detected.fetch_add(1);
+      env_->SleepModelMs(config_.busy_backoff_ms);
+      continue;
+    }
+    *out = std::move(m);
+    return Status::OK();
+  }
+  return Status::TimedOut("no reply from " + dest + " after " +
+                          std::to_string(sends) + " sends");
+}
+
+Status Msp::OutgoingCallImpl(Session* s, const std::string& target,
+                             const std::string& method, ByteView arg,
+                             Bytes* reply) {
+  const bool log_based = config_.mode == RecoveryMode::kLogBased;
+  if (log_based && SessionIsOrphan(s)) {
+    return Status::Orphan("session " + s->id);
+  }
+
+  auto& o = s->outgoing[target];
+  if (o.session_id.empty()) {
+    o.target = target;
+    // Deterministic id: replay after a crash re-creates the same outgoing
+    // session, so the server-side session and its seqnos keep working.
+    o.session_id = config_.id + "/" + s->id + ">" + target;
+    o.next_seqno = 1;
+  }
+  uint64_t seqno = o.next_seqno;
+
+  Message req;
+  req.type = MessageType::kRequest;
+  req.sender = config_.id;
+  req.session_id = o.session_id;
+  req.seqno = seqno;
+  req.method = method;
+  req.payload = Bytes(arg);
+
+  const bool intra = IntraDomain(target);
+  if (log_based) {
+    if (intra) {
+      req.has_dv = true;
+      req.dv = config_.per_session_dv ? s->dv : MspWideDv();
+      env_->stats().dv_entries_attached.fetch_add(req.dv.entry_count());
+    } else {
+      // Pessimistic leg: flush our dependencies before the message leaves
+      // the service domain (Fig. 7, "before send, across service domains").
+      MSPLOG_RETURN_IF_ERROR(
+          DistributedFlush(config_.per_session_dv ? s->dv : MspWideDv()));
+    }
+  }
+
+  Message rep;
+  MSPLOG_RETURN_IF_ERROR(
+      CallRoundTrip(target, req, /*check_orphan_reply=*/log_based, &rep));
+
+  if (log_based) {
+    // §3.1: log the nondeterministic reply receive (with its DV if the
+    // reply came from inside the domain).
+    LogRecord rec;
+    rec.type = LogRecordType::kReplyReceive;
+    rec.target = target;
+    rec.seqno = seqno;
+    rec.payload = rep.payload;
+    rec.aux = static_cast<uint8_t>(rep.reply_code);
+    if (rep.has_dv) {
+      rec.has_dv = true;
+      rec.dv = rep.dv;
+    }
+    AppendSessionRecord(s, rec);
+    if (rep.has_dv) s->dv.Merge(rep.dv);
+  }
+  o.next_seqno = seqno + 1;
+  *reply = rep.payload;
+  if (rep.reply_code == ReplyCode::kAppError) {
+    return Status::Aborted("remote application error: " + *reply);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Distributed log flush (§3.1)
+// ---------------------------------------------------------------------------
+
+Status Msp::DistributedFlush(const DependencyVector& dv) {
+  if (config_.mode != RecoveryMode::kLogBased) return Status::OK();
+  env_->stats().distributed_flushes.fetch_add(1);
+
+  struct Leg {
+    MspId peer;
+    StateId id;
+    uint64_t flush_id;
+    std::shared_ptr<PendingFlush> pf;
+    Bytes wire;
+  };
+  std::vector<Leg> legs;
+
+  // Launch the peer legs first so they run in parallel with the local one.
+  for (const auto& [msp, id] : dv.entries()) {
+    if (msp == config_.id) continue;
+    if (!IntraDomain(msp)) continue;  // cross-domain deps never exist
+    {
+      std::lock_guard<std::mutex> lk(watermark_mu_);
+      auto it = flushed_watermark_.find(msp);
+      if (it != flushed_watermark_.end() && id <= it->second) {
+        continue;  // already durable at the peer
+      }
+    }
+    Leg leg;
+    leg.peer = msp;
+    leg.id = id;
+    leg.pf = std::make_shared<PendingFlush>();
+    {
+      std::lock_guard<std::mutex> lk(flush_mu_);
+      leg.flush_id = next_flush_id_++;
+      pending_flushes_[leg.flush_id] = leg.pf;
+    }
+    Message fm;
+    fm.type = MessageType::kFlushRequest;
+    fm.sender = config_.id;
+    fm.flush_id = leg.flush_id;
+    fm.epoch = id.epoch;
+    fm.flush_sn = id.sn;
+    leg.wire = fm.Encode();
+    network_->Send(config_.id, msp, leg.wire);
+    legs.push_back(std::move(leg));
+  }
+
+  auto cleanup = [&] {
+    std::lock_guard<std::mutex> lk(flush_mu_);
+    for (auto& leg : legs) pending_flushes_.erase(leg.flush_id);
+  };
+
+  // Local leg (skipped when the durable watermark already covers it).
+  auto self = dv.Get(config_.id);
+  if (self && self->epoch == epoch_.load() && log_ &&
+      self->sn < log_->end_lsn() && self->sn >= log_->durable_lsn()) {
+    Status st = log_->FlushUpTo(self->sn);
+    if (!st.ok()) {
+      cleanup();
+      return st;
+    }
+  }
+
+  // Await the peer legs, resending on timeout (the peer may be mid-crash;
+  // once it recovers it either confirms durability or reports the recovered
+  // state number that proves we are an orphan).
+  Status result = Status::OK();
+  for (auto& leg : legs) {
+    uint32_t rounds = 0;
+    while (true) {
+      bool settled = false;
+      {
+        std::unique_lock<std::mutex> lk(leg.pf->mu);
+        settled = leg.pf->cv.wait_for(
+            lk, std::chrono::milliseconds(RealWaitMs(config_.flush_timeout_ms)),
+            [&] { return leg.pf->done || leg.pf->failed; });
+      }
+      if (state_.load() == State::kCrashed || leg.pf->failed) {
+        cleanup();
+        return Status::Crashed("MSP crashed during distributed flush");
+      }
+      if (settled && leg.pf->done) {
+        const Message& m = leg.pf->reply;
+        if (m.flush_ok) {
+          std::lock_guard<std::mutex> lk(watermark_mu_);
+          auto it = flushed_watermark_.find(leg.peer);
+          if (it == flushed_watermark_.end() || it->second < leg.id) {
+            flushed_watermark_[leg.peer] = leg.id;
+          }
+          break;
+        }
+        if (m.rec_epoch == 0) {
+          // Non-authoritative failure (epochs start at 1): retry.
+        } else {
+          // The peer's recovery provably lost our dependency: orphan.
+          {
+            std::lock_guard<std::mutex> lk(table_mu_);
+            recovered_table_.Record(leg.peer, m.rec_epoch, m.rec_sn);
+          }
+          env_->stats().orphans_detected.fetch_add(1);
+          result = Status::Orphan("flush failed at " + leg.peer);
+          break;
+        }
+      }
+      if (++rounds > config_.max_call_sends) {
+        cleanup();
+        return Status::TimedOut("distributed flush to " + leg.peer);
+      }
+      network_->Send(config_.id, leg.peer, leg.wire);
+    }
+    if (result.IsOrphan()) break;
+  }
+  cleanup();
+  return result;
+}
+
+void Msp::HandleFlushRequest(Message m) {
+  Message r;
+  r.type = MessageType::kFlushReply;
+  r.sender = config_.id;
+  r.flush_id = m.flush_id;
+  uint32_t cur_epoch = epoch_.load();
+  if (m.epoch == cur_epoch && log_) {
+    if (m.flush_sn < log_->durable_lsn()) {
+      r.flush_ok = true;  // already durable: no write needed
+    } else if (m.flush_sn < log_->end_lsn()) {
+      if (!log_->FlushUpTo(m.flush_sn).ok()) {
+        // We are crashing mid-flush. NEVER report a failure for the
+        // current epoch — that would amount to announcing a recovered
+        // state number for an epoch that has not ended, poisoning the
+        // requester's table. Stay silent; the requester retries and our
+        // recovery will give the authoritative answer.
+        return;
+      }
+      r.flush_ok = true;
+    } else {
+      // An sn from our current epoch that we do not know (should not
+      // happen); drop rather than guess.
+      return;
+    }
+  } else if (m.epoch < cur_epoch) {
+    // The epoch already ended: the sn is durable iff it survived recovery.
+    std::lock_guard<std::mutex> lk(table_mu_);
+    auto rsn = recovered_table_.RecoveredSn(config_.id, m.epoch);
+    r.flush_ok = rsn.has_value() && *rsn >= m.flush_sn;
+    if (!r.flush_ok) {
+      // Authoritative failure: the epoch ended at rec_sn < flush_sn.
+      r.rec_epoch = m.epoch;
+      r.rec_sn = rsn.value_or(0);
+    }
+  } else {
+    return;  // request from our future (stale routing): drop
+  }
+  network_->Send(config_.id, m.sender, r.Encode());
+}
+
+void Msp::HandleFlushReply(Message m) {
+  std::shared_ptr<PendingFlush> pf;
+  {
+    std::lock_guard<std::mutex> lk(flush_mu_);
+    auto it = pending_flushes_.find(m.flush_id);
+    if (it == pending_flushes_.end()) return;  // stale/duplicate
+    pf = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lk(pf->mu);
+    pf->reply = std::move(m);
+    pf->done = true;
+  }
+  pf->cv.notify_all();
+}
+
+void Msp::HandleReplyMsg(Message m) {
+  std::shared_ptr<PendingCall> pc;
+  {
+    std::lock_guard<std::mutex> lk(calls_mu_);
+    auto it = pending_calls_.find({m.session_id, m.seqno});
+    if (it == pending_calls_.end()) return;  // duplicate/stale reply
+    pc = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lk(pc->mu);
+    if (pc->done) return;
+    pc->reply = std::move(m);
+    pc->done = true;
+  }
+  pc->cv.notify_all();
+}
+
+void Msp::HandleRecoveryAnnounce(Message m) {
+  {
+    std::lock_guard<std::mutex> lk(table_mu_);
+    recovered_table_.Record(m.sender, m.rec_epoch, m.rec_sn);
+  }
+  if (config_.mode == RecoveryMode::kLogBased && log_) {
+    // Persist the knowledge (§3.1: "Other processes log and remember this
+    // recovered state number").
+    LogRecord rec;
+    rec.type = LogRecordType::kRecoveredState;
+    rec.peer = m.sender;
+    rec.peer_epoch = m.rec_epoch;
+    rec.peer_recovered_sn = m.rec_sn;
+    log_->Append(rec);
+  }
+  // §4.1: idle sessions are checked now; busy sessions at the next
+  // interception point (their worker picks the flag up between requests).
+  std::vector<std::shared_ptr<Session>> to_arm;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (auto& [id, s] : sessions_) {
+      if (s->ended) continue;
+      s->needs_orphan_check = true;
+      if (!s->worker_active && !s->recovering) {
+        s->worker_active = true;
+        to_arm.push_back(s);
+      }
+    }
+  }
+  for (auto& s : to_arm) {
+    pool_->Submit([this, s] { SessionWorker(s); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Orphan predicates
+// ---------------------------------------------------------------------------
+
+bool Msp::DvIsOrphan(const DependencyVector& dv) const {
+  std::lock_guard<std::mutex> lk(table_mu_);
+  return recovered_table_.IsOrphanDv(dv);
+}
+
+DependencyVector Msp::MspWideDv() const {
+  DependencyVector all;
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  for (const auto& [id, sess] : sessions_) {
+    if (!sess->ended) all.Merge(sess->dv);
+  }
+  return all;
+}
+
+bool Msp::SessionIsOrphan(const Session* s) const {
+  if (!config_.per_session_dv) {
+    // §3.2 strawman: one DV for the whole MSP — if ANY session carries an
+    // orphan dependency, every session is considered orphan and rolls back.
+    return DvIsOrphan(MspWideDv());
+  }
+  return DvIsOrphan(s->dv);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline request processing (§5 comparison configurations)
+// ---------------------------------------------------------------------------
+
+Status Msp::ProcessRequestBaseline(Session* s, const Message& m) {
+  const bool stateful = config_.mode == RecoveryMode::kPsession ||
+                        config_.mode == RecoveryMode::kStateServer;
+  if (m.method == "__end_session") {
+    {
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      s->ended = true;
+    }
+    return SendReply(s, ReplyCode::kOk, "", m.seqno);
+  }
+  bool state_found = false;
+  if (stateful) {
+    MSPLOG_RETURN_IF_ERROR(FetchBaselineState(s, &state_found));
+  }
+  if (m.seqno < s->next_expected_seqno) {
+    if (s->buffered_reply.valid && s->buffered_reply.seqno == m.seqno) {
+      return SendReply(s, s->buffered_reply.code, s->buffered_reply.payload,
+                       m.seqno);
+    }
+    return Status::OK();
+  }
+  if (m.seqno > s->next_expected_seqno) {
+    if (config_.mode == RecoveryMode::kNoLog || !state_found) {
+      // The duplicate-detection state was lost (NoLog crash, or the state
+      // server died): accept the client's sequence as the new truth. This
+      // is exactly the exactly-once guarantee these baselines lack.
+      s->next_expected_seqno = m.seqno;
+    } else {
+      return Status::OK();
+    }
+  }
+
+  ExecContext ctx(this, s, ExecContext::Mode::kNormal, m.seqno);
+  Bytes result;
+  Status st = InvokeMethod(m.method, &ctx, m.payload, &result);
+  if (st.IsCrashed() || st.IsTimedOut()) return st;
+  ReplyCode code = st.ok() ? ReplyCode::kOk : ReplyCode::kAppError;
+  Bytes payload = st.ok() ? std::move(result) : Bytes(st.ToString());
+
+  s->buffered_reply = {true, m.seqno, code, payload};
+  s->next_expected_seqno = m.seqno + 1;
+  if (stateful) {
+    MSPLOG_RETURN_IF_ERROR(StoreBaselineState(s));
+  }
+  MSPLOG_RETURN_IF_ERROR(SendReply(s, code, payload, m.seqno));
+  if (after_request_hook_) after_request_hook_(this, s->id, m.seqno);
+  return Status::OK();
+}
+
+Status Msp::FetchBaselineState(Session* s, bool* found) {
+  *found = false;
+  if (config_.mode == RecoveryMode::kPsession) {
+    Bytes blob;
+    Status st = psession_db_->TxnGet("session/" + s->id, &blob);
+    if (st.IsNotFound()) return Status::OK();
+    MSPLOG_RETURN_IF_ERROR(st);
+    MSPLOG_RETURN_IF_ERROR(s->DecodeCheckpoint(blob));
+    *found = true;
+    return Status::OK();
+  }
+  // StateServer: one round trip to fetch the whole session state.
+  Message req;
+  req.type = MessageType::kRequest;
+  req.sender = config_.id;
+  req.session_id = config_.id + "/" + s->id + "@ss";
+  req.seqno = s->volatile_rpc_seqno++;
+  req.method = "__ss_get";
+  req.payload = s->id;
+  Message rep;
+  MSPLOG_RETURN_IF_ERROR(CallRoundTrip(config_.state_server, req,
+                                       /*check_orphan_reply=*/false, &rep));
+  if (rep.payload.empty()) return Status::Corruption("bad state reply");
+  if (rep.payload[0] == 1) {
+    MSPLOG_RETURN_IF_ERROR(
+        s->DecodeCheckpoint(ByteView(rep.payload).substr(1)));
+    *found = true;
+  }
+  return Status::OK();
+}
+
+Status Msp::StoreBaselineState(Session* s) {
+  Bytes blob = s->EncodeCheckpoint();
+  if (config_.mode == RecoveryMode::kPsession) {
+    return psession_db_->TxnPut("session/" + s->id, blob);
+  }
+  Message req;
+  req.type = MessageType::kRequest;
+  req.sender = config_.id;
+  req.session_id = config_.id + "/" + s->id + "@ss";
+  req.seqno = s->volatile_rpc_seqno++;
+  req.method = "__ss_put";
+  BinaryWriter w;
+  w.PutBytes(s->id);
+  w.PutBytes(blob);
+  req.payload = w.Take();
+  Message rep;
+  return CallRoundTrip(config_.state_server, req,
+                       /*check_orphan_reply=*/false, &rep);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+StatusOr<Bytes> Msp::PeekSessionVar(const std::string& session_id,
+                                    const std::string& var) const {
+  auto s = GetSession(session_id);
+  if (!s) return Status::NotFound("no session " + session_id);
+  auto it = s->vars.find(var);
+  if (it == s->vars.end()) return Status::NotFound("no var " + var);
+  return it->second;
+}
+
+StatusOr<Bytes> Msp::PeekSharedValue(const std::string& name) const {
+  std::shared_ptr<SharedVariable> v;
+  {
+    std::lock_guard<std::mutex> lk(vars_mu_);
+    auto it = shared_vars_.find(name);
+    if (it == shared_vars_.end()) return Status::NotFound("no shared " + name);
+    v = it->second;
+  }
+  std::shared_lock<std::shared_mutex> vlk(v->rw);
+  return v->value;
+}
+
+StatusOr<uint64_t> Msp::PeekNextExpectedSeqno(
+    const std::string& session_id) const {
+  auto s = GetSession(session_id);
+  if (!s) return Status::NotFound("no session " + session_id);
+  return s->next_expected_seqno;
+}
+
+std::vector<uint64_t> Msp::PeekPositionStream(
+    const std::string& session_id) const {
+  auto s = GetSession(session_id);
+  if (!s) return {};
+  return s->positions.All();
+}
+
+bool Msp::HasSession(const std::string& session_id) const {
+  return GetSession(session_id) != nullptr;
+}
+
+size_t Msp::SessionCount() const {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  return sessions_.size();
+}
+
+RecoveredStateTable Msp::SnapshotRecoveredTable() const {
+  std::lock_guard<std::mutex> lk(table_mu_);
+  return recovered_table_;
+}
+
+}  // namespace msplog

@@ -1,0 +1,282 @@
+// Msp — a recoverable Middleware Server Process, the system of the paper.
+//
+// An Msp serves client-initiated requests with a thread pool, maintains
+// private per-session state and shared in-memory state, and — in
+// RecoveryMode::kLogBased — makes all of it recoverable through:
+//
+//   * locally optimistic logging (§3.1): DV-tagged optimistic messages
+//     inside the service domain, pessimistic distributed log flushes across
+//     domain boundaries and toward end clients;
+//   * per-session DVs and state numbers (§3.2), so sessions are independent
+//     recovery units inside the crash unit that is the MSP;
+//   * value logging with backward write chains for shared variables (§3.3);
+//   * independent session / shared-variable checkpoints plus fuzzy MSP
+//     checkpoints anchored ARIES-style (§3.4);
+//   * crash recovery with a single analysis scan followed by parallel
+//     session replay, and lazy orphan recovery driven by recovery
+//     broadcasts (§4).
+//
+// Crash semantics: Crash() discards everything volatile — the log buffer,
+// position buffers, sessions, shared-variable values, pending calls — and
+// unregisters the network endpoint. Start() afterwards re-runs crash
+// recovery from the durable log, exactly as a restarted OS process would.
+//
+// The other RecoveryModes implement the paper's §5 baselines (NoLog,
+// Psession, StateServer) over the same runtime.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "db/kvdb.h"
+#include "log/log_anchor.h"
+#include "log/log_file.h"
+#include "msp/msp_config.h"
+#include "msp/service_context.h"
+#include "msp/service_domain.h"
+#include "msp/session.h"
+#include "msp/shared_variable.h"
+#include "msp/thread_pool.h"
+#include "recovery/recovered_state_table.h"
+#include "rpc/message.h"
+#include "sim/sim_disk.h"
+#include "sim/sim_env.h"
+#include "sim/sim_network.h"
+
+namespace msplog {
+
+class ExecContext;
+class ReplayCursor;
+
+class Msp {
+ public:
+  Msp(SimEnvironment* env, SimNetwork* network, SimDisk* disk,
+      DomainDirectory* directory, MspConfig config);
+  ~Msp();
+
+  Msp(const Msp&) = delete;
+  Msp& operator=(const Msp&) = delete;
+
+  // ---- setup (before Start) ----
+  void RegisterMethod(const std::string& name, ServiceMethod fn);
+  void RegisterSharedVariable(const std::string& name, Bytes initial);
+
+  // ---- lifecycle ----
+  /// Boot the server. If a durable log exists (kLogBased), runs crash
+  /// recovery (§4.3) before accepting traffic; sessions then recover in
+  /// parallel while new sessions are served.
+  Status Start();
+
+  /// Graceful stop: flushes the log, joins all threads, unregisters.
+  void Shutdown();
+
+  /// Abrupt failure: volatile state is lost; the durable log survives.
+  void Crash();
+
+  bool running() const { return state_.load() == State::kRunning; }
+  uint32_t epoch() const { return epoch_.load(); }
+  const MspConfig& config() const { return config_; }
+  SimEnvironment* env() const { return env_; }
+  LogFile* log() const { return log_.get(); }
+
+  // ---- explicit checkpoint triggers (also driven by the daemon) ----
+  Status ForceMspCheckpoint();
+  Status ForceSessionCheckpoint(const std::string& session_id);
+  Status ForceSharedVarCheckpoint(const std::string& name);
+
+  // ---- crash-injection & instrumentation hooks ----
+  /// Invoked after each successfully processed request (not during replay).
+  using RequestHook =
+      std::function<void(Msp*, const std::string& session_id, uint64_t seqno)>;
+  void SetAfterRequestHook(RequestHook hook) {
+    after_request_hook_ = std::move(hook);
+  }
+
+  // ---- introspection for tests and benchmarks ----
+  StatusOr<Bytes> PeekSessionVar(const std::string& session_id,
+                                 const std::string& var) const;
+  StatusOr<Bytes> PeekSharedValue(const std::string& name) const;
+  StatusOr<uint64_t> PeekNextExpectedSeqno(const std::string& session_id) const;
+  std::vector<uint64_t> PeekPositionStream(const std::string& session_id) const;
+  bool HasSession(const std::string& session_id) const;
+  size_t SessionCount() const;
+  RecoveredStateTable SnapshotRecoveredTable() const;
+  /// Model ms the most recent crash recovery (scan phase) took.
+  double last_recovery_scan_ms() const { return last_recovery_scan_ms_; }
+
+ private:
+  friend class ExecContext;
+
+  enum class State { kStopped, kRecovering, kRunning, kCrashed };
+
+  /// Crash body; caller holds lifecycle_mu_.
+  void CrashLocked();
+
+  // ---- threads ----
+  void DispatchLoop();
+  void CheckpointDaemonLoop();
+  void SessionWorker(std::shared_ptr<Session> s);
+
+  // ---- message handling ----
+  void HandleRequestMsg(Message m);
+  void HandleReplyMsg(Message m);
+  void HandleFlushRequest(Message m);
+  void HandleFlushReply(Message m);
+  void HandleRecoveryAnnounce(Message m);
+  void SendBusyReply(const Message& req);
+
+  // ---- request processing ----
+  void ProcessRequest(const std::shared_ptr<Session>& s, const Message& m);
+  Status ProcessRequestLogBased(Session* s, const Message& m);
+  Status ProcessRequestBaseline(Session* s, const Message& m);
+  Status InvokeMethod(const std::string& method, ExecContext* ctx,
+                      const Bytes& arg, Bytes* result);
+  Status SendReply(Session* s, ReplyCode code, const Bytes& payload,
+                   uint64_t seqno);
+
+  // ---- normal-execution primitives (called via ExecContext) ----
+  uint64_t AppendSessionRecord(Session* s, LogRecord rec);
+  Status SharedReadImpl(Session* s, const std::string& name, Bytes* out);
+  Status SharedWriteImpl(Session* s, const std::string& name, ByteView value);
+  Status SharedUpdateImpl(Session* s, const std::string& name,
+                          const std::function<Bytes(const Bytes&)>& fn,
+                          Bytes* out);
+  Status OutgoingCallImpl(Session* s, const std::string& target,
+                          const std::string& method, ByteView arg,
+                          Bytes* reply);
+  std::shared_ptr<SharedVariable> GetOrCreateSharedVar(const std::string& name);
+
+  /// Send `req` to `dest` and await the matching reply, resending on loss
+  /// and backing off on Busy. If `check_orphan_reply` is set, replies whose
+  /// attached DV is an orphan are discarded (Fig. 7) and the wait continues.
+  /// `max_sends` of 0 uses the configured retry budget.
+  Status CallRoundTrip(const std::string& dest, const Message& req,
+                       bool check_orphan_reply, Message* out,
+                       uint32_t max_sends = 0);
+
+  // ---- distributed log flush (§3.1) ----
+  Status DistributedFlush(const DependencyVector& dv);
+
+  // ---- orphan machinery ----
+  bool SessionIsOrphan(const Session* s) const;
+  /// Ablation (per_session_dv = false): the union of every live session's
+  /// DV — the single process-wide vector of the §3.2 strawman.
+  DependencyVector MspWideDv() const;
+  bool DvIsOrphan(const DependencyVector& dv) const;
+  /// Roll `var` back along its backward write chain to the most recent
+  /// non-orphan value (§4.2). Caller holds the variable's unique lock.
+  Status UndoSharedVariable(SharedVariable* var);
+  /// Write the EOS record and truncate the position stream (§4.1).
+  void OrphanCut(Session* s, uint64_t orphan_lsn);
+
+  // ---- checkpoints (§3.2–§3.4) ----
+  Status TakeSessionCheckpoint(Session* s);
+  Status TakeSharedVarCheckpoint(SharedVariable* var);
+  /// `force_units` also force-checkpoints stale/uncheckpointed sessions and
+  /// shared variables (§3.4); recovery passes false because peer flushes are
+  /// not yet serviceable at that point.
+  Status TakeMspCheckpoint(bool force_units);
+
+  // ---- recovery (§4) ----
+  Status CrashRecovery();
+  /// Replay loop handling repeated orphan-ness under multiple crashes.
+  Status RecoverSessionReplay(Session* s);
+  /// One replay pass from the latest checkpoint along the position stream.
+  Status ReplayOnce(Session* s);
+  void SessionRecoveryTask(std::shared_ptr<Session> s);
+
+  // ---- baseline substrate ----
+  Status FetchBaselineState(Session* s, bool* found);
+  Status StoreBaselineState(Session* s);
+
+  // ---- helpers ----
+  /// Charge model CPU time; serialized on the MSP's core when
+  /// config.single_core_cpu is set.
+  void ChargeCpu(double model_ms);
+  bool IntraDomain(const std::string& other) const;
+  int64_t RealWaitMs(double model_ms) const;
+  std::shared_ptr<Session> GetSession(const std::string& id) const;
+
+  SimEnvironment* env_;
+  SimNetwork* network_;
+  SimDisk* disk_;
+  DomainDirectory* directory_;
+  MspConfig config_;
+
+  /// Serializes Start / Crash / Shutdown against each other (crash
+  /// injection may fire while a previous restart is still in progress).
+  std::mutex lifecycle_mu_;
+  std::atomic<State> state_{State::kStopped};
+  std::atomic<uint32_t> epoch_{0};
+
+  std::unique_ptr<LogFile> log_;
+  LogAnchor anchor_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> control_pool_;
+  std::shared_ptr<Mailbox> mailbox_;
+  std::thread dispatch_thread_;
+  std::thread checkpoint_thread_;
+  std::mutex cp_mu_;
+  std::condition_variable cp_cv_;
+  bool cp_stop_ = false;
+
+  mutable std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+
+  mutable std::mutex vars_mu_;
+  std::map<std::string, std::shared_ptr<SharedVariable>> shared_vars_;
+
+  std::map<std::string, ServiceMethod> methods_;
+
+  mutable std::mutex table_mu_;
+  RecoveredStateTable recovered_table_;
+
+  struct PendingCall {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool failed = false;
+    Message reply;
+  };
+  std::mutex calls_mu_;
+  std::map<std::pair<std::string, uint64_t>, std::shared_ptr<PendingCall>>
+      pending_calls_;
+
+  struct PendingFlush {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool failed = false;
+    Message reply;
+  };
+  std::mutex flush_mu_;
+  uint64_t next_flush_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<PendingFlush>> pending_flushes_;
+
+  /// Highest (epoch, sn) per peer we know to be durable there — lets a
+  /// distributed flush skip request legs for dependencies flushed earlier.
+  std::mutex watermark_mu_;
+  std::map<MspId, StateId> flushed_watermark_;
+  /// Serializes MSP checkpoints.
+  std::mutex msp_cp_mu_;
+  /// The single CPU core (config.single_core_cpu).
+  std::mutex cpu_mu_;
+
+  uint64_t last_msp_cp_log_end_ = 0;
+  RequestHook after_request_hook_;
+  double last_recovery_scan_ms_ = 0;
+
+  std::unique_ptr<KvDb> psession_db_;
+};
+
+}  // namespace msplog

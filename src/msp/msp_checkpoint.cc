@@ -1,0 +1,221 @@
+// Checkpointing (§3.2–§3.4): independent session checkpoints, independent
+// shared-variable checkpoints, and the fuzzy MSP checkpoint that ties their
+// positions together and is anchored ARIES-style.
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "msp/exec_context.h"
+#include "msp/msp.h"
+#include "msp/msp_checkpoint_format.h"
+
+namespace msplog {
+
+Status Msp::TakeSessionCheckpoint(Session* s) {
+  if (config_.mode != RecoveryMode::kLogBased) return Status::Unsupported("");
+  // §3.2: prior to a session checkpoint, a distributed log flush as dictated
+  // by the session's DV ensures the checkpointed state is never an orphan.
+  MSPLOG_RETURN_IF_ERROR(DistributedFlush(s->dv));
+
+  LogRecord rec;
+  rec.type = LogRecordType::kSessionCheckpoint;
+  rec.session_id = s->id;
+  rec.payload = s->EncodeCheckpoint();
+  uint64_t lsn = log_->Append(rec);
+  s->last_checkpoint_lsn.store(lsn);
+  // §3.2: on completion, the session's previous log records can be
+  // discarded — the position stream truncates to zero length.
+  s->positions.Truncate();
+  s->bytes_logged_since_cp = 0;
+  s->msp_cps_since_cp = 0;
+  env_->stats().checkpoints_session.fetch_add(1);
+  return Status::OK();
+}
+
+Status Msp::TakeSharedVarCheckpoint(SharedVariable* var) {
+  // Caller holds the variable's unique lock.
+  // §3.3: a distributed log flush per the variable's DV first; afterwards
+  // the checkpointed value can never be an orphan, so the DV clears and the
+  // backward chain breaks here.
+  MSPLOG_RETURN_IF_ERROR(DistributedFlush(var->dv));
+
+  LogRecord rec;
+  rec.type = LogRecordType::kSharedVarCheckpoint;
+  rec.var_id = var->name;
+  rec.payload = var->value;
+  uint64_t lsn = log_->Append(rec);
+  var->last_checkpoint_lsn = lsn;
+  var->last_write_lsn = lsn;  // chain restarts at the checkpoint
+  var->state_number = lsn;
+  var->dv.Clear();
+  var->writes_since_cp = 0;
+  var->msp_cps_since_cp = 0;
+  env_->stats().checkpoints_shared_var.fetch_add(1);
+  return Status::OK();
+}
+
+Status Msp::TakeMspCheckpoint(bool force_units) {
+  if (config_.mode != RecoveryMode::kLogBased || !log_) {
+    return Status::Unsupported("");
+  }
+  std::lock_guard<std::mutex> cp_guard(msp_cp_mu_);
+
+  // Pre-pass: make sure every shared variable has a checkpoint position, so
+  // the analysis-scan start point is bounded (§3.4 forced checkpoints).
+  if (force_units) {
+    std::vector<std::shared_ptr<SharedVariable>> vars;
+    {
+      std::lock_guard<std::mutex> lk(vars_mu_);
+      for (auto& [n, v] : shared_vars_) vars.push_back(v);
+    }
+    for (auto& v : vars) {
+      std::unique_lock<std::shared_mutex> vlk(v->rw);
+      v->msp_cps_since_cp++;
+      bool stale = config_.force_checkpoint_after_msp_cps > 0 &&
+                   v->msp_cps_since_cp >= config_.force_checkpoint_after_msp_cps;
+      bool never = v->last_checkpoint_lsn == 0;
+      if (never || (stale && v->writes_since_cp > 0)) {
+        Status st = TakeSharedVarCheckpoint(v.get());
+        if (st.IsOrphan()) {
+          env_->stats().orphans_detected.fetch_add(1);
+          MSPLOG_RETURN_IF_ERROR(UndoSharedVariable(v.get()));
+        } else if (st.IsCrashed()) {
+          return st;
+        }
+      }
+    }
+  }
+
+  MspCheckpointData data;
+  {
+    std::lock_guard<std::mutex> lk(table_mu_);
+    data.table = recovered_table_;
+  }
+  std::vector<std::shared_ptr<Session>> stale_sessions;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (auto& [id, s] : sessions_) {
+      if (s->ended) continue;
+      uint64_t cp = s->last_checkpoint_lsn.load();
+      uint64_t first = s->first_lsn.load();
+      if (cp == 0 && first == 0) continue;  // no log presence yet
+      data.sessions.push_back({id, s->client, cp, first});
+      s->msp_cps_since_cp++;
+      if (force_units && config_.force_checkpoint_after_msp_cps > 0 &&
+          s->msp_cps_since_cp >= config_.force_checkpoint_after_msp_cps &&
+          s->bytes_logged_since_cp > 0) {
+        s->needs_checkpoint = true;
+        if (!s->worker_active && !s->recovering) {
+          s->worker_active = true;
+          stale_sessions.push_back(s);
+        }
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(vars_mu_);
+    for (auto& [name, v] : shared_vars_) {
+      std::shared_lock<std::shared_mutex> vlk(v->rw);
+      data.vars.push_back({name, v->last_checkpoint_lsn,
+                           v->last_write_lsn != 0});
+    }
+  }
+
+  LogRecord rec;
+  rec.type = LogRecordType::kMspCheckpoint;
+  rec.payload = data.Encode();
+  uint64_t lsn = log_->Append(rec);
+  uint64_t min_needed = data.MinRecoveryLsn(lsn);
+  // The referenced session/variable checkpoints were all appended before we
+  // read their LSNs, so flushing everything through the MSP checkpoint
+  // record makes every referenced position durable before the anchor points
+  // at it (ARIES rule).
+  MSPLOG_RETURN_IF_ERROR(log_->FlushAll());
+  MSPLOG_RETURN_IF_ERROR(anchor_.Write({lsn, epoch_.load()}));
+  last_msp_cp_log_end_ = log_->end_lsn();
+  env_->stats().checkpoints_msp.fetch_add(1);
+
+  // Log-space reclamation: no recovery — crash, session or shared-variable —
+  // ever reads below the scan start position this checkpoint pins, so the
+  // prefix is dead ("the session's previous log records can be discarded",
+  // §3.2; we extend the same argument to the whole log).
+  if (config_.reclaim_log && min_needed > 0) {
+    log_->ReclaimUpTo(min_needed);
+  }
+
+  for (auto& s : stale_sessions) {
+    pool_->Submit([this, s] { SessionWorker(s); });
+  }
+  return Status::OK();
+}
+
+Status Msp::ForceMspCheckpoint() { return TakeMspCheckpoint(true); }
+
+Status Msp::ForceSessionCheckpoint(const std::string& session_id) {
+  auto s = GetSession(session_id);
+  if (!s) return Status::NotFound("no session " + session_id);
+  // Claim the session like a worker would, so the checkpoint happens
+  // "between requests" (§3.2).
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      if (!s->worker_active && !s->recovering) {
+        s->worker_active = true;
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (state_.load() != State::kRunning) return Status::Crashed("");
+  }
+  Status st = TakeSessionCheckpoint(s.get());
+  bool rearm = false;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    if (!s->pending_requests.empty() || s->needs_orphan_check ||
+        s->needs_checkpoint) {
+      rearm = true;  // stay claimed; a worker drains the queue
+    } else {
+      s->worker_active = false;
+    }
+  }
+  if (rearm) pool_->Submit([this, s] { SessionWorker(s); });
+  return st;
+}
+
+Status Msp::ForceSharedVarCheckpoint(const std::string& name) {
+  std::shared_ptr<SharedVariable> v;
+  {
+    std::lock_guard<std::mutex> lk(vars_mu_);
+    auto it = shared_vars_.find(name);
+    if (it == shared_vars_.end()) return Status::NotFound("no shared " + name);
+    v = it->second;
+  }
+  std::unique_lock<std::shared_mutex> vlk(v->rw);
+  Status st = TakeSharedVarCheckpoint(v.get());
+  if (st.IsOrphan()) {
+    env_->stats().orphans_detected.fetch_add(1);
+    return UndoSharedVariable(v.get());
+  }
+  return st;
+}
+
+void Msp::CheckpointDaemonLoop() {
+  std::unique_lock<std::mutex> lk(cp_mu_);
+  while (!cp_stop_) {
+    cp_cv_.wait_for(lk,
+                    std::chrono::milliseconds(
+                        RealWaitMs(config_.checkpoint_interval_ms)),
+                    [&] { return cp_stop_; });
+    if (cp_stop_) break;
+    lk.unlock();
+    if (config_.msp_checkpoint_log_bytes > 0 && log_ &&
+        log_->end_lsn() - last_msp_cp_log_end_ >=
+            config_.msp_checkpoint_log_bytes &&
+        state_.load() == State::kRunning) {
+      (void)TakeMspCheckpoint(true);
+    }
+    lk.lock();
+  }
+}
+
+}  // namespace msplog

@@ -1,0 +1,113 @@
+// Internal: serialized content of an MSP fuzzy checkpoint record (§3.4).
+// It contains only *positions*, not state: the recovered state numbers the
+// MSP knows, and the LSN of each session's and each shared variable's most
+// recent checkpoint (plus session-start LSNs for sessions not yet
+// checkpointed). Crash recovery starts its analysis scan at the minimum of
+// these positions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "recovery/recovered_state_table.h"
+
+namespace msplog {
+
+struct MspCheckpointData {
+  RecoveredStateTable table;
+
+  struct SessionEntry {
+    std::string id;
+    std::string client;
+    uint64_t last_checkpoint_lsn = 0;  ///< 0 = never checkpointed
+    uint64_t first_lsn = 0;            ///< kSessionStart record
+  };
+  std::vector<SessionEntry> sessions;
+
+  struct VarEntry {
+    std::string name;
+    uint64_t last_checkpoint_lsn = 0;  ///< 0 = never checkpointed
+    bool has_writes = false;
+  };
+  std::vector<VarEntry> vars;
+
+  Bytes Encode() const {
+    BinaryWriter w;
+    table.EncodeTo(&w);
+    w.PutVarint(sessions.size());
+    for (const auto& s : sessions) {
+      w.PutBytes(s.id);
+      w.PutBytes(s.client);
+      w.PutVarint(s.last_checkpoint_lsn);
+      w.PutVarint(s.first_lsn);
+    }
+    w.PutVarint(vars.size());
+    for (const auto& v : vars) {
+      w.PutBytes(v.name);
+      w.PutVarint(v.last_checkpoint_lsn);
+      w.PutU8(v.has_writes ? 1 : 0);
+    }
+    return w.Take();
+  }
+
+  /// The analysis-scan start position this checkpoint implies (Fig. 12):
+  /// the minimum over every session's base (its checkpoint, else its start
+  /// record) and every touched shared variable's checkpoint. Returns 0 when
+  /// some unit forces a full scan, and `fallback` when nothing needs
+  /// scanning at all.
+  uint64_t MinRecoveryLsn(uint64_t fallback) const {
+    bool have = false;
+    uint64_t min_lsn = 0;
+    auto consider = [&](uint64_t base) {
+      if (!have || base < min_lsn) {
+        min_lsn = base;
+        have = true;
+      }
+    };
+    for (const auto& s : sessions) {
+      consider(s.last_checkpoint_lsn ? s.last_checkpoint_lsn : s.first_lsn);
+    }
+    for (const auto& v : vars) {
+      if (v.last_checkpoint_lsn == 0 && !v.has_writes) continue;  // untouched
+      consider(v.last_checkpoint_lsn);  // 0 forces a full scan
+    }
+    return have ? min_lsn : fallback;
+  }
+
+  Status Decode(ByteView blob) {
+    BinaryReader r(blob);
+    MSPLOG_RETURN_IF_ERROR(table.DecodeFrom(&r));
+    uint64_t n = 0;
+    MSPLOG_RETURN_IF_ERROR(r.GetVarint(&n));
+    sessions.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      SessionEntry e;
+      Bytes id, client;
+      MSPLOG_RETURN_IF_ERROR(r.GetBytes(&id));
+      MSPLOG_RETURN_IF_ERROR(r.GetBytes(&client));
+      MSPLOG_RETURN_IF_ERROR(r.GetVarint(&e.last_checkpoint_lsn));
+      MSPLOG_RETURN_IF_ERROR(r.GetVarint(&e.first_lsn));
+      e.id = id;
+      e.client = client;
+      sessions.push_back(std::move(e));
+    }
+    MSPLOG_RETURN_IF_ERROR(r.GetVarint(&n));
+    vars.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      VarEntry e;
+      Bytes name;
+      MSPLOG_RETURN_IF_ERROR(r.GetBytes(&name));
+      MSPLOG_RETURN_IF_ERROR(r.GetVarint(&e.last_checkpoint_lsn));
+      uint8_t hw = 0;
+      MSPLOG_RETURN_IF_ERROR(r.GetU8(&hw));
+      e.name = name;
+      e.has_writes = hw != 0;
+      vars.push_back(std::move(e));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace msplog

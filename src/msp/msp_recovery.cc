@@ -1,0 +1,376 @@
+// Recovery processing (§4): MSP crash recovery (analysis scan, shared-state
+// roll forward, recovery broadcast, parallel session replay) and session
+// orphan recovery (replay from the latest checkpoint along the position
+// stream, EOS cut at the orphan log record, live continuation).
+#include <algorithm>
+#include <map>
+
+#include "log/log_scanner.h"
+#include "msp/exec_context.h"
+#include "msp/msp.h"
+#include "msp/msp_checkpoint_format.h"
+
+namespace msplog {
+
+namespace {
+std::string PosFileName(const std::string& msp, const std::string& session) {
+  return "pos/" + msp + "/" + session;
+}
+}  // namespace
+
+Status Msp::CrashRecovery() {
+  double t0 = env_->NowModelMs();
+  const std::string log_file = config_.id + ".log";
+
+  // Epoch handling: bump and persist the epoch BEFORE anything else, so a
+  // crash during recovery can never reuse a failure-free period identifier.
+  AnchorData ad;
+  Status ast = anchor_.Read(&ad);
+  uint64_t msp_cp_lsn = 0;
+  uint32_t old_epoch = 0;
+  if (ast.ok()) {
+    msp_cp_lsn = ad.msp_checkpoint_lsn;
+    old_epoch = ad.epoch;
+  } else if (!ast.IsNotFound()) {
+    return ast;
+  }
+  epoch_.store(old_epoch + 1);
+  MSPLOG_RETURN_IF_ERROR(anchor_.Write({msp_cp_lsn, epoch_.load()}));
+
+  // Re-initialize from the most recent MSP checkpoint (Fig. 12).
+  uint64_t min_lsn = 0;
+  if (msp_cp_lsn != 0) {
+    LogRecord cp;
+    MSPLOG_RETURN_IF_ERROR(log_->ReadRecordAt(msp_cp_lsn, &cp));
+    if (cp.type != LogRecordType::kMspCheckpoint) {
+      return Status::Corruption("anchor does not point at an MSP checkpoint");
+    }
+    MspCheckpointData data;
+    MSPLOG_RETURN_IF_ERROR(data.Decode(cp.payload));
+    {
+      std::lock_guard<std::mutex> lk(table_mu_);
+      recovered_table_.Merge(data.table);
+    }
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (const auto& e : data.sessions) {
+      auto s = std::make_shared<Session>(e.id, e.client, disk_,
+                                         PosFileName(config_.id, e.id));
+      s->last_checkpoint_lsn.store(e.last_checkpoint_lsn);
+      s->first_lsn.store(e.first_lsn);
+      s->recovering = true;
+      sessions_[e.id] = s;
+    }
+    for (const auto& e : data.vars) {
+      auto v = GetOrCreateSharedVar(e.name);
+      v->last_checkpoint_lsn = e.last_checkpoint_lsn;
+    }
+    min_lsn = data.MinRecoveryLsn(msp_cp_lsn);
+  }
+
+  // Single-threaded analysis scan (§4.3): reconstruct position streams,
+  // roll shared variables forward, rebuild recovered-state knowledge.
+  const uint64_t durable = disk_->FileSize(log_file);
+  std::map<std::string, std::vector<uint64_t>> positions;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (auto& [id, s] : sessions_) positions[id];  // seed known sessions
+  }
+
+  auto ensure_session =
+      [&](const std::string& id,
+          const std::string& client) -> std::shared_ptr<Session> {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    auto it = sessions_.find(id);
+    if (it != sessions_.end()) {
+      if (it->second->client.empty() && !client.empty()) {
+        it->second->client = client;
+      }
+      return it->second;
+    }
+    auto s = std::make_shared<Session>(id, client, disk_,
+                                       PosFileName(config_.id, id));
+    s->recovering = true;
+    sessions_[id] = s;
+    return s;
+  };
+
+  LogScanner scanner(disk_, log_file, min_lsn, durable);
+  while (true) {
+    LogRecord rec;
+    Status st = scanner.Next(&rec);
+    if (st.IsNotFound()) break;
+    if (st.IsCorruption()) break;  // torn tail: the durable log ends here
+    MSPLOG_RETURN_IF_ERROR(st);
+
+    switch (rec.type) {
+      case LogRecordType::kSessionStart: {
+        auto s = ensure_session(rec.session_id, rec.target);
+        s->first_lsn.store(rec.lsn);
+        break;
+      }
+      case LogRecordType::kRequestReceive:
+      case LogRecordType::kSharedRead:
+      case LogRecordType::kReplyReceive: {
+        auto s = ensure_session(rec.session_id, "");
+        if (rec.lsn > s->last_checkpoint_lsn.load()) {
+          positions[rec.session_id].push_back(rec.lsn);
+        }
+        break;
+      }
+      case LogRecordType::kSharedWrite: {
+        // Roll forward (§4.3): each write record carries the full value.
+        auto v = GetOrCreateSharedVar(rec.var_id);
+        std::unique_lock<std::shared_mutex> vlk(v->rw);
+        v->value = rec.payload;
+        v->dv = rec.dv;
+        v->state_number = rec.lsn;
+        v->last_write_lsn = rec.lsn;
+        break;
+      }
+      case LogRecordType::kSharedVarCheckpoint: {
+        auto v = GetOrCreateSharedVar(rec.var_id);
+        std::unique_lock<std::shared_mutex> vlk(v->rw);
+        v->value = rec.payload;
+        v->dv.Clear();
+        v->state_number = rec.lsn;
+        v->last_write_lsn = rec.lsn;
+        v->last_checkpoint_lsn = rec.lsn;
+        break;
+      }
+      case LogRecordType::kSessionCheckpoint: {
+        auto s = ensure_session(rec.session_id, "");
+        s->last_checkpoint_lsn.store(rec.lsn);
+        positions[rec.session_id].clear();
+        break;
+      }
+      case LogRecordType::kSessionEnd: {
+        std::lock_guard<std::mutex> lk(sessions_mu_);
+        sessions_.erase(rec.session_id);
+        positions.erase(rec.session_id);
+        break;
+      }
+      case LogRecordType::kRecoveredState: {
+        std::lock_guard<std::mutex> lk(table_mu_);
+        recovered_table_.Record(rec.peer, rec.peer_epoch,
+                                rec.peer_recovered_sn);
+        break;
+      }
+      case LogRecordType::kEos: {
+        // §4.3: records from the orphan record through the EOS are skipped
+        // by any subsequent recovery of this session.
+        auto it = positions.find(rec.session_id);
+        if (it != positions.end()) {
+          auto& ps = it->second;
+          ps.erase(std::remove_if(ps.begin(), ps.end(),
+                                  [&](uint64_t p) {
+                                    return p >= rec.prev_lsn && p <= rec.lsn;
+                                  }),
+                   ps.end());
+        }
+        break;
+      }
+      case LogRecordType::kMspCheckpoint:
+        break;  // the newest one already initialized us
+      default:
+        break;
+    }
+  }
+
+  // The recovered state number for the epoch that just ended: the largest
+  // LSN that can still belong to a durable record. `durable` is the
+  // EXCLUSIVE end of the durable extent — a record whose frame starts at
+  // exactly `durable` was lost, so the boundary itself counts as not
+  // recovered.
+  const uint64_t recovered_sn = durable > 0 ? durable - 1 : 0;
+  {
+    std::lock_guard<std::mutex> lk(table_mu_);
+    recovered_table_.Record(config_.id, old_epoch, recovered_sn);
+  }
+
+  // Hand the reconstructed position streams to the sessions.
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (auto& [id, s] : sessions_) {
+      auto it = positions.find(id);
+      if (it != positions.end()) {
+        s->positions.ReplaceAll(std::move(it->second));
+      }
+      s->recovering = true;
+    }
+  }
+
+  // Broadcast the recovery message within the service domain (§4.3). The
+  // full own history is included so peers recovering concurrently (or that
+  // lost an unflushed kRecoveredState record) still converge.
+  std::vector<std::pair<uint32_t, uint64_t>> own_history;
+  {
+    std::lock_guard<std::mutex> lk(table_mu_);
+    for (const auto& [key, sn] : recovered_table_.entries()) {
+      if (key.first == config_.id) own_history.push_back({key.second, sn});
+    }
+  }
+  for (const auto& peer : directory_->PeersOf(config_.id)) {
+    for (const auto& [e, sn] : own_history) {
+      Message m;
+      m.type = MessageType::kRecoveryAnnounce;
+      m.sender = config_.id;
+      m.rec_epoch = e;
+      m.rec_sn = sn;
+      network_->Send(config_.id, peer, m.Encode());
+    }
+  }
+
+  // Fresh MSP checkpoint so the next crash starts from here (Fig. 12).
+  // Unit forcing is skipped: peers cannot be flushed to before our
+  // dispatcher runs.
+  MSPLOG_RETURN_IF_ERROR(TakeMspCheckpoint(/*force_units=*/false));
+
+  last_recovery_scan_ms_ = env_->NowModelMs() - t0;
+  return Status::OK();
+}
+
+void Msp::SessionRecoveryTask(std::shared_ptr<Session> s) {
+  (void)RecoverSessionReplay(s.get());
+  env_->stats().sessions_recovered.fetch_add(1);
+}
+
+Status Msp::RecoverSessionReplay(Session* s) {
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    s->recovering = true;
+  }
+  Status st = Status::OK();
+  int rounds = 0;
+  while (true) {
+    if (++rounds > 64) {
+      st = Status::Internal("session recovery did not converge");
+      break;
+    }
+    st = ReplayOnce(s);
+    if (st.IsOrphan()) continue;  // orphaned again mid-replay: start over
+    if (!st.ok()) break;
+    // §4.1 "Orphan Recovery upon Multiple Crashes": another crash may have
+    // arrived while we replayed; re-check before declaring victory.
+    if (SessionIsOrphan(s)) continue;
+    break;
+  }
+  // The client may still be waiting for the reply of the last request —
+  // resend it (duplicate replies are discarded by receivers).
+  if (st.ok() && s->buffered_reply.valid && !s->ended) {
+    Status rst = SendReply(s, s->buffered_reply.code,
+                           s->buffered_reply.payload, s->buffered_reply.seqno);
+    if (rst.IsOrphan()) {
+      // Rare: orphaned between the convergence check and the resend flush.
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      s->needs_orphan_check = true;
+    }
+  }
+  bool arm = false;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    s->recovering = false;
+    if ((!s->pending_requests.empty() || s->needs_orphan_check ||
+         s->needs_checkpoint) &&
+        !s->worker_active) {
+      s->worker_active = true;
+      arm = true;
+    }
+  }
+  if (arm) {
+    auto sp = GetSession(s->id);
+    if (sp) pool_->Submit([this, sp] { SessionWorker(sp); });
+  }
+  return st;
+}
+
+Status Msp::ReplayOnce(Session* s) {
+  // 1. Initialize from the most recent session checkpoint (§4.1).
+  uint64_t cp_lsn = s->last_checkpoint_lsn.load();
+  if (cp_lsn != 0) {
+    LogRecord cp;
+    MSPLOG_RETURN_IF_ERROR(log_->ReadRecordAt(cp_lsn, &cp));
+    if (cp.type != LogRecordType::kSessionCheckpoint) {
+      return Status::Corruption("expected session checkpoint at " +
+                                std::to_string(cp_lsn));
+    }
+    MSPLOG_RETURN_IF_ERROR(s->DecodeCheckpoint(cp.payload));
+  } else {
+    s->vars.clear();
+    s->dv.Clear();
+    s->state_number = 0;
+    s->next_expected_seqno = 1;
+    s->buffered_reply = BufferedReply();
+    s->outgoing.clear();
+  }
+
+  // 2. Redo recovery: replay logged requests along the position stream.
+  ReplayCursor cursor(log_.get(), s->positions.All());
+  while (cursor.HasNext()) {
+    LogRecord rec;
+    MSPLOG_RETURN_IF_ERROR(cursor.Peek(&rec));
+    if (rec.type == LogRecordType::kSessionStart) {
+      cursor.Skip();
+      continue;
+    }
+    if (rec.type == LogRecordType::kSessionEnd) {
+      std::lock_guard<std::mutex> lk(sessions_mu_);
+      s->ended = true;
+      return Status::OK();
+    }
+    if (rec.has_dv && DvIsOrphan(rec.dv)) {
+      // The session became an orphan by receiving this request: skip it and
+      // everything after; the sender will resend after its own recovery.
+      OrphanCut(s, rec.lsn);
+      return Status::OK();
+    }
+    if (rec.type != LogRecordType::kRequestReceive) {
+      env_->stats().replay_misalignments.fetch_add(1);
+      return Status::Internal(
+          "position stream misaligned: expected RequestReceive, found " +
+          std::string(LogRecordTypeName(rec.type)) + " at " +
+          std::to_string(rec.lsn));
+    }
+    cursor.Skip();
+    s->state_number = rec.lsn;
+    s->dv.Set(config_.id, StateId{epoch_.load(), rec.lsn});
+    if (rec.has_dv) s->dv.Merge(rec.dv);
+    s->next_expected_seqno = rec.seqno;
+
+    ExecContext ctx(this, s, ExecContext::Mode::kReplay, rec.seqno, &cursor);
+    Bytes result;
+    Status st = InvokeMethod(rec.target, &ctx, rec.payload, &result);
+    env_->stats().requests_replayed.fetch_add(1);
+    if (st.IsOrphan() || st.IsCrashed() || st.IsTimedOut()) return st;
+
+    ReplyCode code = st.ok() ? ReplyCode::kOk : ReplyCode::kAppError;
+    Bytes payload = st.ok() ? std::move(result) : Bytes(st.ToString());
+    s->buffered_reply = {true, rec.seqno, code, payload};
+    s->next_expected_seqno = rec.seqno + 1;
+
+    if (ctx.switched_live()) {
+      // The request was in flight when the log ended (or the cut happened):
+      // its execution just completed for real, so the reply must go out.
+      Status rst = SendReply(s, code, payload, rec.seqno);
+      if (rst.IsOrphan()) return rst;
+      MSPLOG_RETURN_IF_ERROR(rst);
+      // Anything after the switch point is gone (cut) or did not exist.
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+void Msp::OrphanCut(Session* s, uint64_t orphan_lsn) {
+  // §4.1 "Orphan Recovery End": write an EOS record pointing back to the
+  // orphan log record and make the skipped range invisible to any future
+  // recovery of this session. The EOS need not be flushed; if it is lost in
+  // a crash, everything from the orphan record onward is skipped anyway.
+  LogRecord eos;
+  eos.type = LogRecordType::kEos;
+  eos.session_id = s->id;
+  eos.prev_lsn = orphan_lsn;
+  log_->Append(eos);
+  s->positions.RemoveRange(orphan_lsn, UINT64_MAX);
+}
+
+}  // namespace msplog

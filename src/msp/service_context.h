@@ -1,0 +1,67 @@
+// ServiceContext — the programming model an MSP offers to service methods
+// (§2.2). A method receives a context through which it accesses private
+// session variables, shared variables, and other MSPs. The recovery
+// infrastructure is entirely transparent: the same method body runs during
+// normal execution and during log-driven replay; the context decides
+// whether an operation hits the live world or is fed from the log.
+//
+// Determinism contract: a service method must be deterministic given its
+// argument, the session variables, the values returned by ReadShared, and
+// the replies returned by Call. Wall-clock time, randomness and global
+// mutable state outside the context are forbidden (use Compute() for CPU
+// cost).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace msplog {
+
+class ServiceContext {
+ public:
+  virtual ~ServiceContext() = default;
+
+  // ---- identity ----
+  virtual const std::string& session_id() const = 0;
+  virtual uint64_t request_seqno() const = 0;
+  /// True while this execution is a log-driven replay (§4.1). Methods do
+  /// not normally need this; it exists for instrumentation.
+  virtual bool in_replay() const = 0;
+
+  // ---- private session state (never logged; rebuilt by re-execution) ----
+  virtual Bytes GetSessionVar(const std::string& name) = 0;
+  virtual bool HasSessionVar(const std::string& name) const = 0;
+  virtual void SetSessionVar(const std::string& name, ByteView value) = 0;
+
+  // ---- shared in-memory state (value-logged, §3.3) ----
+  virtual Status ReadShared(const std::string& name, Bytes* out) = 0;
+  virtual Status WriteShared(const std::string& name, ByteView value) = 0;
+
+  /// Atomic read-modify-write: `fn` maps the current value to the new one
+  /// under a single lock hold, so concurrent updates never lose increments
+  /// (plain ReadShared + WriteShared are two separate §2.2 lock acquisitions
+  /// and give no cross-access atomicity). `fn` must be deterministic; it is
+  /// re-applied to the logged read value during replay. The resulting value
+  /// is returned through `out` when non-null.
+  virtual Status UpdateShared(const std::string& name,
+                              const std::function<Bytes(const Bytes&)>& fn,
+                              Bytes* out = nullptr) = 0;
+
+  // ---- synchronous outgoing call to another MSP (§2.1) ----
+  virtual Status Call(const std::string& target_msp, const std::string& method,
+                      ByteView arg, Bytes* reply) = 0;
+
+  // ---- model CPU cost of business logic ----
+  virtual void Compute(double model_ms) = 0;
+};
+
+/// A service method: deterministic business logic. Returns non-OK to signal
+/// an application error (delivered to the client as ReplyCode::kAppError).
+/// Infrastructure statuses (kOrphan, kCrashed) MUST be propagated unchanged.
+using ServiceMethod =
+    std::function<Status(ServiceContext*, const Bytes& arg, Bytes* result)>;
+
+}  // namespace msplog

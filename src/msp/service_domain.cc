@@ -1,0 +1,39 @@
+#include "msp/service_domain.h"
+
+namespace msplog {
+
+void DomainDirectory::Assign(const std::string& msp,
+                             const std::string& domain) {
+  std::lock_guard<std::mutex> lk(mu_);
+  domain_of_[msp] = domain;
+}
+
+std::optional<std::string> DomainDirectory::DomainOf(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = domain_of_.find(id);
+  if (it == domain_of_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool DomainDirectory::SameDomain(const std::string& a,
+                                 const std::string& b) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto ia = domain_of_.find(a);
+  auto ib = domain_of_.find(b);
+  if (ia == domain_of_.end() || ib == domain_of_.end()) return false;
+  return ia->second == ib->second;
+}
+
+std::vector<std::string> DomainDirectory::PeersOf(const std::string& id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  auto it = domain_of_.find(id);
+  if (it == domain_of_.end()) return out;
+  for (const auto& [msp, dom] : domain_of_) {
+    if (msp != id && dom == it->second) out.push_back(msp);
+  }
+  return out;
+}
+
+}  // namespace msplog

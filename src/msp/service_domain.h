@@ -1,0 +1,36 @@
+// Service domains (§1.3, §2.1): disjoint groups of tightly associated MSPs
+// with fast, reliable communication. Message exchanges *within* a domain use
+// optimistic logging (attach DV, no flush); exchanges *across* domain
+// boundaries — including all traffic with end clients, which belong to no
+// domain — use pessimistic logging (distributed log flush before send).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace msplog {
+
+class DomainDirectory {
+ public:
+  /// Place `msp` in `domain`. An MSP belongs to exactly one domain.
+  void Assign(const std::string& msp, const std::string& domain);
+
+  /// Domain of `id`, or nullopt for end clients / unknown endpoints.
+  std::optional<std::string> DomainOf(const std::string& id) const;
+
+  /// True iff both ids are MSPs configured into the same domain.
+  bool SameDomain(const std::string& a, const std::string& b) const;
+
+  /// All members of `id`'s domain except `id` itself (recovery-broadcast
+  /// and distributed-flush fan-out set). Empty for end clients.
+  std::vector<std::string> PeersOf(const std::string& id) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> domain_of_;
+};
+
+}  // namespace msplog

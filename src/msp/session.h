@@ -1,0 +1,158 @@
+// Session — the recovery unit of an MSP (§3.2). Sessions hold private
+// session variables (never logged: replay re-executes service methods to
+// reconstruct them), a per-session dependency vector and state number, the
+// duplicate-detection bookkeeping of §3.1, and the per-session position
+// stream into the shared physical log.
+//
+// Concurrency: within a session at most one request is processed at a time
+// (§2.1). The fields below are mutated only by the worker thread currently
+// owning the session; the queue/ownership flags are guarded by the MSP's
+// session-table mutex.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "log/position_stream.h"
+#include "recovery/dependency_vector.h"
+#include "rpc/message.h"
+
+namespace msplog {
+
+/// The reply of the latest request, buffered so it can be resent if lost
+/// (§3.1).
+struct BufferedReply {
+  bool valid = false;
+  uint64_t seqno = 0;
+  ReplyCode code = ReplyCode::kOk;
+  Bytes payload;
+};
+
+/// Client-side state of an outgoing session this session started with
+/// another MSP (§2.1, Fig. 3).
+struct OutgoingSessionState {
+  std::string target;      ///< target MSP id
+  std::string session_id;  ///< deterministic id of the session at the target
+  uint64_t next_seqno = 1; ///< next available request sequence number
+};
+
+class Session {
+ public:
+  Session(std::string id, std::string client, SimDisk* disk,
+          const std::string& pos_file)
+      : id(std::move(id)),
+        client(std::move(client)),
+        positions(disk, pos_file) {}
+
+  // ---- identity ----
+  const std::string id;
+  std::string client;  ///< endpoint that owns this session
+
+  // ---- business state (reconstructed by replay) ----
+  std::map<std::string, Bytes> vars;  ///< session variables (not logged)
+
+  // ---- recovery bookkeeping ----
+  DependencyVector dv;       ///< per-session DV (§3.2), includes self entry
+  uint64_t state_number = 0; ///< LSN of this session's most recent log record
+  /// first_lsn / last_checkpoint_lsn are read by the fuzzy MSP checkpoint
+  /// without owning the session, hence atomic.
+  std::atomic<uint64_t> first_lsn{0};          ///< LSN of kSessionStart
+  std::atomic<uint64_t> last_checkpoint_lsn{0};  ///< 0 = never checkpointed
+  uint64_t bytes_logged_since_cp = 0;
+  uint32_t msp_cps_since_cp = 0;
+  PositionStream positions;
+
+  // ---- message bookkeeping (§3.1) ----
+  uint64_t next_expected_seqno = 1;
+  BufferedReply buffered_reply;
+  std::map<std::string, OutgoingSessionState> outgoing;  ///< by target MSP
+
+  // ---- scheduling state (guarded by the MSP's session-table mutex) ----
+  std::deque<Message> pending_requests;
+  bool worker_active = false;
+  bool recovering = false;
+  bool needs_orphan_check = false;
+  /// Set by the MSP checkpoint when this session's checkpoint is stale
+  /// (§3.4 forced checkpoints); honored by the session worker.
+  bool needs_checkpoint = false;
+  bool ended = false;
+
+  /// Sequence numbers for baseline state-server RPCs. Deliberately volatile
+  /// and not part of the checkpointable state.
+  uint64_t volatile_rpc_seqno = 1;
+
+  /// Serialize the checkpointable state (§3.2: session variables, buffered
+  /// reply, next expected request seqno, outgoing sessions' next available
+  /// seqnos — plus the DV, which is safe to persist because a distributed
+  /// flush precedes every session checkpoint).
+  Bytes EncodeCheckpoint() const {
+    BinaryWriter w;
+    dv.EncodeTo(&w);
+    w.PutVarint(state_number);
+    w.PutVarint(next_expected_seqno);
+    w.PutU8(buffered_reply.valid ? 1 : 0);
+    w.PutVarint(buffered_reply.seqno);
+    w.PutU8(static_cast<uint8_t>(buffered_reply.code));
+    w.PutBytes(buffered_reply.payload);
+    w.PutVarint(vars.size());
+    for (const auto& [k, v] : vars) {
+      w.PutBytes(k);
+      w.PutBytes(v);
+    }
+    w.PutVarint(outgoing.size());
+    for (const auto& [target, o] : outgoing) {
+      w.PutBytes(target);
+      w.PutBytes(o.session_id);
+      w.PutVarint(o.next_seqno);
+    }
+    return w.Take();
+  }
+
+  /// Restore the checkpointable state from a blob produced by
+  /// EncodeCheckpoint.
+  Status DecodeCheckpoint(ByteView blob) {
+    BinaryReader r(blob);
+    MSPLOG_RETURN_IF_ERROR(dv.DecodeFrom(&r));
+    MSPLOG_RETURN_IF_ERROR(r.GetVarint(&state_number));
+    MSPLOG_RETURN_IF_ERROR(r.GetVarint(&next_expected_seqno));
+    uint8_t valid = 0;
+    MSPLOG_RETURN_IF_ERROR(r.GetU8(&valid));
+    buffered_reply.valid = valid != 0;
+    MSPLOG_RETURN_IF_ERROR(r.GetVarint(&buffered_reply.seqno));
+    uint8_t code = 0;
+    MSPLOG_RETURN_IF_ERROR(r.GetU8(&code));
+    buffered_reply.code = static_cast<ReplyCode>(code);
+    MSPLOG_RETURN_IF_ERROR(r.GetBytes(&buffered_reply.payload));
+    uint64_t nvars = 0;
+    MSPLOG_RETURN_IF_ERROR(r.GetVarint(&nvars));
+    vars.clear();
+    for (uint64_t i = 0; i < nvars; ++i) {
+      Bytes k, v;
+      MSPLOG_RETURN_IF_ERROR(r.GetBytes(&k));
+      MSPLOG_RETURN_IF_ERROR(r.GetBytes(&v));
+      vars[k] = std::move(v);
+    }
+    uint64_t nout = 0;
+    MSPLOG_RETURN_IF_ERROR(r.GetVarint(&nout));
+    outgoing.clear();
+    for (uint64_t i = 0; i < nout; ++i) {
+      OutgoingSessionState o;
+      Bytes target;
+      MSPLOG_RETURN_IF_ERROR(r.GetBytes(&target));
+      MSPLOG_RETURN_IF_ERROR(r.GetBytes(&o.session_id));
+      MSPLOG_RETURN_IF_ERROR(r.GetVarint(&o.next_seqno));
+      o.target = target;
+      outgoing[target] = std::move(o);
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace msplog

@@ -1,0 +1,41 @@
+// SharedVariable — passive recovery unit shared by all sessions of an MSP
+// (§2.2, §3.3). Access is protected by a per-variable read/write lock held
+// only for the duration of the access (so no deadlocks and no lock table).
+// The variable carries its own DV and state number (the LSN of its most
+// recent write); writes form a backward chain through the log that breaks
+// at shared-variable checkpoints, enabling undo-style orphan recovery by
+// whichever session trips over the orphan value.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+
+#include "common/bytes.h"
+#include "recovery/dependency_vector.h"
+
+namespace msplog {
+
+class SharedVariable {
+ public:
+  SharedVariable(std::string name, Bytes initial)
+      : name(std::move(name)),
+        initial_value(initial),
+        value(std::move(initial)) {}
+
+  const std::string name;
+  const Bytes initial_value;
+
+  // All fields below are guarded by `rw`.
+  Bytes value;
+  DependencyVector dv;        ///< dependency of the current value
+  uint64_t state_number = 0;  ///< LSN of the most recent write (0 = initial)
+  uint64_t last_write_lsn = 0;  ///< head of the backward write chain
+  uint64_t last_checkpoint_lsn = 0;
+  uint32_t writes_since_cp = 0;
+  uint32_t msp_cps_since_cp = 0;
+
+  std::shared_mutex rw;
+};
+
+}  // namespace msplog

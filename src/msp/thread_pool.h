@@ -1,0 +1,48 @@
+// Fixed-size worker pool (§2.1): an MSP serves its request queue with a
+// thread pool; the same pool replays sessions in parallel after a crash
+// (§4.3, "recover sessions in parallel").
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msplog {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Returns false if the pool is shutting down.
+  bool Submit(std::function<void()> task);
+
+  /// Stop accepting tasks, run what is queued, join all workers.
+  void Shutdown();
+
+  /// Stop accepting tasks, DISCARD the queue, join workers once in-flight
+  /// tasks return (crash path — tasks observe the crash via Status and
+  /// unwind quickly).
+  void Abort();
+
+  size_t num_threads() const { return workers_.size(); }
+  size_t queued() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  bool discard_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace msplog

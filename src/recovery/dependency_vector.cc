@@ -1,0 +1,68 @@
+#include "recovery/dependency_vector.h"
+
+namespace msplog {
+
+void DependencyVector::Merge(const DependencyVector& other) {
+  for (const auto& [msp, id] : other.entries_) {
+    Raise(msp, id);
+  }
+}
+
+void DependencyVector::Raise(const MspId& msp, StateId id) {
+  auto it = entries_.find(msp);
+  if (it == entries_.end() || it->second < id) {
+    entries_[msp] = id;
+  }
+}
+
+std::optional<StateId> DependencyVector::Get(const MspId& msp) const {
+  auto it = entries_.find(msp);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void DependencyVector::EncodeTo(BinaryWriter* w) const {
+  w->PutVarint(entries_.size());
+  for (const auto& [msp, id] : entries_) {
+    w->PutBytes(msp);
+    w->PutU32(id.epoch);
+    w->PutU64(id.sn);
+  }
+}
+
+Status DependencyVector::DecodeFrom(BinaryReader* r) {
+  entries_.clear();
+  uint64_t n = 0;
+  MSPLOG_RETURN_IF_ERROR(r->GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    Bytes msp;
+    StateId id;
+    MSPLOG_RETURN_IF_ERROR(r->GetBytes(&msp));
+    MSPLOG_RETURN_IF_ERROR(r->GetU32(&id.epoch));
+    MSPLOG_RETURN_IF_ERROR(r->GetU64(&id.sn));
+    entries_[msp] = id;
+  }
+  return Status::OK();
+}
+
+size_t DependencyVector::WireSize() const {
+  size_t n = 1;
+  for (const auto& [msp, id] : entries_) {
+    n += 1 + msp.size() + 4 + 8;
+  }
+  return n;
+}
+
+std::string DependencyVector::ToString() const {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& [msp, id] : entries_) {
+    if (!first) out += ", ";
+    first = false;
+    out += msp + ":" + id.ToString();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace msplog

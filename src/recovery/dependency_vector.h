@@ -1,0 +1,63 @@
+// DependencyVector (DV) — optimistic-logging dependency tracking per §3.1.
+//
+// A DV maps each MSP the owner transitively depends on to a StateId
+// (epoch + state number). It is attached to every message sent within a
+// service domain and merged (item-wise maximum) into the receiver's DV.
+// Per §3.2 every *session* carries its own DV (not the whole MSP), and per
+// §3.3 every shared variable carries one too, with the read/write-asymmetric
+// propagation rules that avoid false dependencies.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "recovery/state_id.h"
+
+namespace msplog {
+
+class DependencyVector {
+ public:
+  DependencyVector() = default;
+
+  /// Item-wise maximum merge: for each entry in `other`, keep the larger
+  /// (epoch, sn) pair. This is the receive-side rule of Fig. 7.
+  void Merge(const DependencyVector& other);
+
+  /// Set the owner's own entry (or any entry) outright.
+  void Set(const MspId& msp, StateId id) { entries_[msp] = id; }
+
+  /// Raise `msp`'s entry to at least `id`.
+  void Raise(const MspId& msp, StateId id);
+
+  std::optional<StateId> Get(const MspId& msp) const;
+  void Remove(const MspId& msp) { entries_.erase(msp); }
+  void Clear() { entries_.clear(); }
+
+  size_t entry_count() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::map<MspId, StateId>& entries() const { return entries_; }
+
+  /// Replace this DV entirely (the shared-variable *write* rule of §3.3:
+  /// a write replaces the variable's DV with the writer session's DV).
+  void ReplaceWith(const DependencyVector& other) { entries_ = other.entries_; }
+
+  void EncodeTo(BinaryWriter* w) const;
+  Status DecodeFrom(BinaryReader* r);
+
+  /// Approximate wire size in bytes (for message-overhead accounting).
+  size_t WireSize() const;
+
+  std::string ToString() const;
+
+  bool operator==(const DependencyVector& o) const {
+    return entries_ == o.entries_;
+  }
+
+ private:
+  std::map<MspId, StateId> entries_;
+};
+
+}  // namespace msplog

@@ -1,0 +1,75 @@
+#include "recovery/recovered_state_table.h"
+
+namespace msplog {
+
+void RecoveredStateTable::Record(const MspId& msp, uint32_t epoch,
+                                 uint64_t recovered_sn) {
+  auto key = std::make_pair(msp, epoch);
+  auto it = table_.find(key);
+  if (it == table_.end() || it->second < recovered_sn) {
+    table_[key] = recovered_sn;
+  }
+}
+
+std::optional<uint64_t> RecoveredStateTable::RecoveredSn(
+    const MspId& msp, uint32_t epoch) const {
+  auto it = table_.find({msp, epoch});
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool RecoveredStateTable::IsOrphanEntry(const MspId& msp, StateId id) const {
+  auto it = table_.find({msp, id.epoch});
+  if (it == table_.end()) return false;
+  return id.sn > it->second;
+}
+
+std::optional<RecoveredStateTable::OrphanWitness>
+RecoveredStateTable::FindOrphanEntry(const DependencyVector& dv) const {
+  for (const auto& [msp, id] : dv.entries()) {
+    if (IsOrphanEntry(msp, id)) {
+      return OrphanWitness{msp, id.epoch, *RecoveredSn(msp, id.epoch)};
+    }
+  }
+  return std::nullopt;
+}
+
+bool RecoveredStateTable::IsOrphanDv(const DependencyVector& dv) const {
+  for (const auto& [msp, id] : dv.entries()) {
+    if (IsOrphanEntry(msp, id)) return true;
+  }
+  return false;
+}
+
+void RecoveredStateTable::Merge(const RecoveredStateTable& other) {
+  for (const auto& [key, sn] : other.table_) {
+    Record(key.first, key.second, sn);
+  }
+}
+
+void RecoveredStateTable::EncodeTo(BinaryWriter* w) const {
+  w->PutVarint(table_.size());
+  for (const auto& [key, sn] : table_) {
+    w->PutBytes(key.first);
+    w->PutU32(key.second);
+    w->PutU64(sn);
+  }
+}
+
+Status RecoveredStateTable::DecodeFrom(BinaryReader* r) {
+  table_.clear();
+  uint64_t n = 0;
+  MSPLOG_RETURN_IF_ERROR(r->GetVarint(&n));
+  for (uint64_t i = 0; i < n; ++i) {
+    Bytes msp;
+    uint32_t epoch = 0;
+    uint64_t sn = 0;
+    MSPLOG_RETURN_IF_ERROR(r->GetBytes(&msp));
+    MSPLOG_RETURN_IF_ERROR(r->GetU32(&epoch));
+    MSPLOG_RETURN_IF_ERROR(r->GetU64(&sn));
+    table_[{msp, epoch}] = sn;
+  }
+  return Status::OK();
+}
+
+}  // namespace msplog

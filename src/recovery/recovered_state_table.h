@@ -1,0 +1,69 @@
+// RecoveredStateTable — each MSP's knowledge of recovered state numbers
+// (§3.1, §4). When an MSP finishes crash recovery it broadcasts, within its
+// service domain, the state number it was able to recover to for the epoch
+// that just ended. Receivers record (msp, epoch) → recovered_sn. A DV entry
+// (msp, epoch, sn) is an *orphan* iff the table knows that `msp` ended
+// `epoch` having recovered only to some sn' < sn: the state numbered sn was
+// lost in the crash and will never be reproduced.
+//
+// An MSP also records its own recovery history here, which lets it answer
+// distributed-log-flush requests that target an epoch it has already left
+// (the flush trivially succeeds if the requested sn survived that epoch).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "recovery/dependency_vector.h"
+#include "recovery/state_id.h"
+
+namespace msplog {
+
+class RecoveredStateTable {
+ public:
+  /// Record that `msp` ended `epoch` recovered to `recovered_sn`.
+  /// Idempotent; keeps the maximum if told twice.
+  void Record(const MspId& msp, uint32_t epoch, uint64_t recovered_sn);
+
+  /// Recovered sn for (msp, epoch) if known.
+  std::optional<uint64_t> RecoveredSn(const MspId& msp, uint32_t epoch) const;
+
+  /// True iff the single dependency entry is known to be lost.
+  bool IsOrphanEntry(const MspId& msp, StateId id) const;
+
+  /// The first orphan entry of `dv`, if any: (msp, epoch, recovered_sn).
+  struct OrphanWitness {
+    MspId msp;
+    uint32_t epoch = 0;
+    uint64_t recovered_sn = 0;
+  };
+  std::optional<OrphanWitness> FindOrphanEntry(
+      const DependencyVector& dv) const;
+
+  /// True iff any entry of `dv` is an orphan. The owner's own entry can
+  /// never be an orphan for itself, so callers typically pass DVs that
+  /// include a self entry without special-casing it (a live process's own
+  /// current-epoch entries are never in the table).
+  bool IsOrphanDv(const DependencyVector& dv) const;
+
+  bool empty() const { return table_.empty(); }
+  size_t size() const { return table_.size(); }
+
+  void Merge(const RecoveredStateTable& other);
+  void Clear() { table_.clear(); }
+
+  void EncodeTo(BinaryWriter* w) const;
+  Status DecodeFrom(BinaryReader* r);
+
+  const std::map<std::pair<MspId, uint32_t>, uint64_t>& entries() const {
+    return table_;
+  }
+
+ private:
+  std::map<std::pair<MspId, uint32_t>, uint64_t> table_;
+};
+
+}  // namespace msplog

@@ -1,0 +1,33 @@
+// StateId — a process state identifier per §3.1: a state number (the LSN of
+// the process's most recent log record) qualified by an epoch number that
+// identifies a failure-free period of execution. The epoch increments every
+// time the process completes crash recovery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msplog {
+
+struct StateId {
+  uint32_t epoch = 0;
+  uint64_t sn = 0;  ///< state number: LSN of the most recent log record
+
+  bool operator==(const StateId& o) const {
+    return epoch == o.epoch && sn == o.sn;
+  }
+  bool operator<(const StateId& o) const {
+    if (epoch != o.epoch) return epoch < o.epoch;
+    return sn < o.sn;
+  }
+  bool operator<=(const StateId& o) const { return *this < o || *this == o; }
+
+  std::string ToString() const {
+    return std::to_string(epoch) + ":" + std::to_string(sn);
+  }
+};
+
+/// Identifier of an MSP (also used for end-client endpoints).
+using MspId = std::string;
+
+}  // namespace msplog

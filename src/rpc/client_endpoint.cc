@@ -1,0 +1,96 @@
+#include "rpc/client_endpoint.h"
+
+#include <algorithm>
+
+namespace msplog {
+
+namespace {
+/// Convert a model-time wait to a real wait for condition/timeout purposes.
+/// With scale 0 latency is off; a small real floor keeps loops cool without
+/// slowing tests meaningfully.
+int64_t RealWaitMs(const SimEnvironment* env, double model_ms) {
+  if (env->time_scale() <= 0.0) return 2;
+  return std::max<int64_t>(1,
+      static_cast<int64_t>(model_ms * env->time_scale()));
+}
+}  // namespace
+
+ClientEndpoint::ClientEndpoint(SimEnvironment* env, SimNetwork* network,
+                               std::string name, ClientOptions options)
+    : env_(env), network_(network), name_(std::move(name)), options_(options) {
+  mailbox_ = network_->Register(name_);
+}
+
+ClientEndpoint::~ClientEndpoint() { network_->Unregister(name_); }
+
+ClientSession ClientEndpoint::StartSession(const std::string& msp) {
+  ClientSession s;
+  s.msp = msp;
+  s.session_id = name_ + "/se" + std::to_string(next_session_.fetch_add(1));
+  s.next_seqno = 1;
+  return s;
+}
+
+Status ClientEndpoint::Call(ClientSession* session, const std::string& method,
+                            ByteView arg, Bytes* reply, CallStats* stats) {
+  const uint64_t seqno = session->next_seqno;
+  Message req;
+  req.type = MessageType::kRequest;
+  req.sender = name_;
+  req.session_id = session->session_id;
+  req.seqno = seqno;
+  req.method = method;
+  req.payload = Bytes(arg);
+
+  CallStats local;
+  double t0 = env_->NowModelMs();
+  Bytes wire = req.Encode();
+
+  while (local.sends < options_.max_sends) {
+    network_->Send(name_, session->msp, wire);
+    ++local.sends;
+
+    // Wait for the matching reply, ignoring duplicates and stale replies.
+    int64_t budget_real_ms = RealWaitMs(env_, options_.resend_timeout_ms);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(budget_real_ms);
+    while (true) {
+      auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;  // resend
+      int64_t remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           deadline - now).count();
+      Packet p;
+      if (!mailbox_->PopWithTimeout(&p, std::max<int64_t>(1, remain))) {
+        if (mailbox_->closed()) return Status::Crashed("client endpoint closed");
+        continue;
+      }
+      Message m;
+      Status st = Message::Decode(p.wire, &m);
+      if (!st.ok()) continue;  // garbage on the wire: drop
+      if (m.type != MessageType::kReply || m.session_id != session->session_id) {
+        continue;  // not ours
+      }
+      if (m.seqno != seqno) continue;  // duplicate reply of an older request
+      if (m.reply_code == ReplyCode::kBusy) {
+        // Server is checkpointing or recovering: back off, then resend.
+        ++local.busy_replies;
+        env_->SleepModelMs(options_.busy_backoff_ms);
+        goto resend;
+      }
+      session->next_seqno = seqno + 1;
+      *reply = std::move(m.payload);
+      local.response_model_ms = env_->NowModelMs() - t0;
+      if (stats) *stats = local;
+      return m.reply_code == ReplyCode::kOk
+                 ? Status::OK()
+                 : Status::Aborted("application error: " + *reply);
+    }
+  resend:;
+  }
+  local.response_model_ms = env_->NowModelMs() - t0;
+  if (stats) *stats = local;
+  return Status::TimedOut("no reply after " +
+                          std::to_string(local.sends) + " sends");
+}
+
+}  // namespace msplog

@@ -1,0 +1,63 @@
+#include "rpc/message.h"
+
+namespace msplog {
+
+Bytes Message::Encode() const {
+  BinaryWriter w;
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutBytes(sender);
+  w.PutBytes(session_id);
+  w.PutVarint(seqno);
+  w.PutBytes(method);
+  w.PutBytes(payload);
+  w.PutU8(has_dv ? 1 : 0);
+  if (has_dv) dv.EncodeTo(&w);
+  w.PutU8(static_cast<uint8_t>(reply_code));
+  w.PutVarint(flush_id);
+  w.PutU32(epoch);
+  w.PutVarint(flush_sn);
+  w.PutU8(flush_ok ? 1 : 0);
+  w.PutU32(rec_epoch);
+  w.PutVarint(rec_sn);
+  return w.Take();
+}
+
+Status Message::Decode(ByteView wire, Message* out) {
+  BinaryReader r(wire);
+  uint8_t type = 0;
+  MSPLOG_RETURN_IF_ERROR(r.GetU8(&type));
+  if (type == 0 || type > static_cast<uint8_t>(MessageType::kRecoveryAnnounce)) {
+    return Status::Corruption("bad message type");
+  }
+  out->type = static_cast<MessageType>(type);
+  MSPLOG_RETURN_IF_ERROR(r.GetBytes(&out->sender));
+  MSPLOG_RETURN_IF_ERROR(r.GetBytes(&out->session_id));
+  MSPLOG_RETURN_IF_ERROR(r.GetVarint(&out->seqno));
+  MSPLOG_RETURN_IF_ERROR(r.GetBytes(&out->method));
+  MSPLOG_RETURN_IF_ERROR(r.GetBytes(&out->payload));
+  uint8_t has_dv = 0;
+  MSPLOG_RETURN_IF_ERROR(r.GetU8(&has_dv));
+  out->has_dv = has_dv != 0;
+  if (out->has_dv) {
+    MSPLOG_RETURN_IF_ERROR(out->dv.DecodeFrom(&r));
+  } else {
+    out->dv.Clear();
+  }
+  uint8_t code = 0;
+  MSPLOG_RETURN_IF_ERROR(r.GetU8(&code));
+  if (code > static_cast<uint8_t>(ReplyCode::kOrphanNotice)) {
+    return Status::Corruption("bad reply code");
+  }
+  out->reply_code = static_cast<ReplyCode>(code);
+  MSPLOG_RETURN_IF_ERROR(r.GetVarint(&out->flush_id));
+  MSPLOG_RETURN_IF_ERROR(r.GetU32(&out->epoch));
+  MSPLOG_RETURN_IF_ERROR(r.GetVarint(&out->flush_sn));
+  uint8_t flush_ok = 0;
+  MSPLOG_RETURN_IF_ERROR(r.GetU8(&flush_ok));
+  out->flush_ok = flush_ok != 0;
+  MSPLOG_RETURN_IF_ERROR(r.GetU32(&out->rec_epoch));
+  MSPLOG_RETURN_IF_ERROR(r.GetVarint(&out->rec_sn));
+  return Status::OK();
+}
+
+}  // namespace msplog

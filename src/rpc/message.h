@@ -1,0 +1,73 @@
+// Wire message model (§2.1, §3.1). Requests and replies carry a request
+// sequence number for duplicate / out-of-order detection; messages sent
+// within a service domain additionally carry the sender session's DV.
+// Control messages implement the distributed log flush and the recovery
+// broadcast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "recovery/dependency_vector.h"
+
+namespace msplog {
+
+enum class MessageType : uint8_t {
+  kInvalid = 0,
+  kRequest = 1,
+  kReply = 2,
+  /// Ask a peer to flush its log through `flush_sn` of epoch `epoch`
+  /// (one leg of a distributed log flush, §3.1).
+  kFlushRequest = 3,
+  kFlushReply = 4,
+  /// Broadcast after crash recovery: "I ended epoch `rec_epoch` recovered
+  /// to state number `rec_sn`" (§4).
+  kRecoveryAnnounce = 5,
+};
+
+enum class ReplyCode : uint8_t {
+  kOk = 0,
+  /// Server is checkpointing or recovering; client sleeps and resends (§5.4).
+  kBusy = 1,
+  /// Application method returned an error.
+  kAppError = 2,
+  /// Extension beyond Fig. 7's silent discard: the request carried an
+  /// orphan dependency; rec_epoch/rec_sn report the recovered state number
+  /// that proves it, so a sender that missed the recovery broadcast can
+  /// still learn it is an orphan (liveness under lost broadcasts).
+  kOrphanNotice = 3,
+};
+
+struct Message {
+  MessageType type = MessageType::kInvalid;
+  /// Logical sender id (matches the network endpoint name).
+  std::string sender;
+  /// Service session this request/reply belongs to.
+  std::string session_id;
+  uint64_t seqno = 0;
+  /// kRequest: service method name.
+  std::string method;
+  Bytes payload;
+  /// Attached sender-session DV (only within a service domain).
+  bool has_dv = false;
+  DependencyVector dv;
+  ReplyCode reply_code = ReplyCode::kOk;
+
+  /// kFlushRequest / kFlushReply
+  uint64_t flush_id = 0;
+  uint32_t epoch = 0;       ///< epoch the flush_sn belongs to
+  uint64_t flush_sn = 0;
+  bool flush_ok = false;
+
+  /// kRecoveryAnnounce (also piggybacked on failed flush replies)
+  uint32_t rec_epoch = 0;   ///< the epoch that just ended
+  uint64_t rec_sn = 0;      ///< recovered state number for that epoch
+
+  Bytes Encode() const;
+  static Status Decode(ByteView wire, Message* out);
+};
+
+}  // namespace msplog

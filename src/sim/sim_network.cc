@@ -1,0 +1,195 @@
+#include "sim/sim_network.h"
+
+#include <algorithm>
+
+namespace msplog {
+
+bool Mailbox::Pop(Packet* out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+bool Mailbox::PopWithTimeout(Packet* out, int64_t timeout_real_ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait_for(lk, std::chrono::milliseconds(timeout_real_ms),
+               [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+void Mailbox::Push(Packet p) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (closed_) return;
+  queue_.push_back(std::move(p));
+  cv_.notify_all();
+}
+
+void Mailbox::Close() {
+  std::lock_guard<std::mutex> lk(mu_);
+  closed_ = true;
+  queue_.clear();
+  cv_.notify_all();
+}
+
+bool Mailbox::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+size_t Mailbox::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+SimNetwork::SimNetwork(SimEnvironment* env, uint64_t seed)
+    : env_(env), rng_(seed) {
+  delivery_thread_ = std::thread([this] { DeliveryLoop(); });
+}
+
+SimNetwork::~SimNetwork() { Shutdown(); }
+
+void SimNetwork::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (delivery_thread_.joinable()) delivery_thread_.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, mb] : endpoints_) mb->Close();
+}
+
+std::shared_ptr<Mailbox> SimNetwork::Register(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto mb = std::make_shared<Mailbox>();
+  endpoints_[name] = mb;
+  return mb;
+}
+
+void SimNetwork::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = endpoints_.find(name);
+  if (it != endpoints_.end()) {
+    it->second->Close();
+    endpoints_.erase(it);
+  }
+}
+
+const FaultPlan& SimNetwork::FaultsFor(const std::string& from,
+                                       const std::string& to) const {
+  auto it = faults_.find({from, to});
+  return it == faults_.end() ? default_faults_ : it->second;
+}
+
+double SimNetwork::OneWayMs(const std::string& a, const std::string& b,
+                            size_t bytes) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  double latency = default_one_way_ms_;
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  auto it = link_latency_.find(key);
+  if (it != link_latency_.end()) latency = it->second;
+  if (bandwidth_mbps_ > 0) {
+    latency += static_cast<double>(bytes) * 8.0 / (bandwidth_mbps_ * 1000.0);
+  }
+  return latency;
+}
+
+void SimNetwork::SetLinkLatency(const std::string& a, const std::string& b,
+                                double one_way_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  link_latency_[key] = one_way_ms;
+}
+
+void SimNetwork::SetFaults(const std::string& from, const std::string& to,
+                           FaultPlan plan) {
+  std::lock_guard<std::mutex> lk(mu_);
+  faults_[{from, to}] = plan;
+}
+
+void SimNetwork::ClearFaults() {
+  std::lock_guard<std::mutex> lk(mu_);
+  faults_.clear();
+  default_faults_ = FaultPlan();
+}
+
+void SimNetwork::Send(const std::string& from, const std::string& to,
+                      Bytes wire) {
+  env_->stats().messages_sent.fetch_add(1);
+  env_->stats().message_bytes.fetch_add(wire.size());
+
+  double delay_ms = OneWayMs(from, to, wire.size());
+  int copies = 1;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const FaultPlan& plan = FaultsFor(from, to);
+    if (plan.drop_prob > 0 && rng_.Chance(plan.drop_prob)) {
+      env_->stats().messages_dropped.fetch_add(1);
+      return;
+    }
+    if (plan.duplicate_prob > 0 && rng_.Chance(plan.duplicate_prob)) {
+      env_->stats().messages_duplicated.fetch_add(1);
+      copies = 2;
+    }
+    if (plan.reorder_jitter_ms > 0) {
+      delay_ms += rng_.NextDouble() * plan.reorder_jitter_ms;
+    }
+  }
+
+  Packet p{from, to, std::move(wire)};
+  double scale = env_->time_scale();
+  for (int c = 0; c < copies; ++c) {
+    Packet copy = (c == copies - 1) ? std::move(p) : p;
+    if (scale <= 0.0 || delay_ms <= 0.0) {
+      Deliver(std::move(copy));
+      continue;
+    }
+    uint64_t due = env_->ElapsedRealNs() +
+                   static_cast<uint64_t>(delay_ms * scale * 1e6);
+    std::lock_guard<std::mutex> lk(mu_);
+    schedule_.push(Scheduled{due, next_seq_++, std::move(copy)});
+    cv_.notify_all();
+  }
+}
+
+void SimNetwork::Deliver(Packet p) {
+  std::shared_ptr<Mailbox> mb;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = endpoints_.find(p.to);
+    if (it == endpoints_.end()) return;  // dead host: packet lost
+    mb = it->second;
+  }
+  mb->Push(std::move(p));
+}
+
+void SimNetwork::DeliveryLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    if (schedule_.empty()) {
+      cv_.wait(lk, [&] { return stop_ || !schedule_.empty(); });
+      continue;
+    }
+    uint64_t now = env_->ElapsedRealNs();
+    const Scheduled& top = schedule_.top();
+    if (top.due_real_ns <= now) {
+      Packet p = top.packet;
+      schedule_.pop();
+      lk.unlock();
+      Deliver(std::move(p));
+      lk.lock();
+      continue;
+    }
+    uint64_t wait_ns = top.due_real_ns - now;
+    cv_.wait_for(lk, std::chrono::nanoseconds(wait_ns));
+  }
+}
+
+}  // namespace msplog

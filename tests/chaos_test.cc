@@ -1,0 +1,105 @@
+// Chaos soak: the strongest end-to-end validation of exactly-once
+// execution. Both MSPs crash repeatedly (MSP2 via the §5.4 in-flight
+// injection, MSP1 abruptly between requests), the client link drops and
+// duplicates messages, and aggressive checkpoint daemons run throughout.
+// After the storm, the shared state at both MSPs must equal the
+// deterministic function of exactly one execution per request.
+#include <gtest/gtest.h>
+
+#include "harness/paper_workload.h"
+
+namespace msplog {
+namespace {
+
+struct ChaosParam {
+  uint64_t seed;
+  double drop;
+  double dup;
+  int crash2_every;   // §5.4 injection at MSP2
+  int crash1_every;   // abrupt MSP1 crash between requests
+  bool checkpoints;
+};
+
+class ChaosTest : public ::testing::TestWithParam<ChaosParam> {};
+
+TEST_P(ChaosTest, ExactlyOnceThroughTheStorm) {
+  const ChaosParam& p = GetParam();
+  PaperWorkloadOptions opts;
+  opts.config = PaperConfig::kLoOptimistic;
+  opts.time_scale = 0.0;
+  opts.checkpoint_daemon = p.checkpoints;
+  opts.session_checkpoint_threshold_bytes = p.checkpoints ? 6144 : 0;
+  opts.msp_checkpoint_log_bytes = p.checkpoints ? 16384 : 0;
+  opts.client_max_sends = 5000;
+  PaperWorkload w(opts);
+  ASSERT_TRUE(w.Start().ok());
+
+  if (p.drop > 0 || p.dup > 0) {
+    FaultPlan faults;
+    faults.drop_prob = p.drop;
+    faults.duplicate_prob = p.dup;
+    w.network()->SetFaults("chaos", "msp1", faults);
+    w.network()->SetFaults("msp1", "chaos", faults);
+  }
+
+  ClientOptions copts;
+  copts.max_sends = 5000;
+  copts.resend_timeout_ms = 50;
+  copts.busy_backoff_ms = 10;
+  ClientEndpoint client(w.env(), w.network(), "chaos", copts);
+  w.network()->SetLinkLatency("chaos", "msp1", 0.0);
+  auto session = client.StartSession("msp1");
+
+  constexpr int kRequests = 40;
+  for (int i = 1; i <= kRequests; ++i) {
+    Bytes reply;
+    Status st =
+        client.Call(&session, "ServiceMethod1", MakePayload(100, i), &reply);
+    ASSERT_TRUE(st.ok()) << "request " << i << ": " << st.ToString();
+    if (p.crash2_every > 0 && i % p.crash2_every == 0) {
+      w.ArmCrash();  // MSP2 killed mid-request on the next request
+    }
+    if (p.crash1_every > 0 && i % p.crash1_every == 0) {
+      w.msp1()->Crash();
+      ASSERT_TRUE(w.msp1()->Start().ok());
+    }
+  }
+
+  // Deterministic final state: SV0 was rewritten by every request exactly
+  // once; SV2 by every ServiceMethod2 execution exactly once.
+  auto sv0 = w.msp1()->PeekSharedValue("SV0");
+  ASSERT_TRUE(sv0.ok());
+  EXPECT_EQ(*sv0, MakePayload(128, kRequests * 2 + 1));
+  auto sv2 = w.msp2()->PeekSharedValue("SV2");
+  ASSERT_TRUE(sv2.ok());
+  EXPECT_EQ(*sv2, MakePayload(128, kRequests * 3 + 1));
+
+  // And the session still works.
+  Bytes reply;
+  ASSERT_TRUE(
+      client.Call(&session, "ServiceMethod1", MakePayload(100, 99), &reply)
+          .ok());
+  w.Shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Storms, ChaosTest,
+    ::testing::Values(
+        // callee crashes only
+        ChaosParam{1, 0.0, 0.0, 5, 0, false},
+        // caller crashes only
+        ChaosParam{2, 0.0, 0.0, 0, 7, false},
+        // both crash, interleaved
+        ChaosParam{3, 0.0, 0.0, 5, 9, false},
+        // both crash + lossy, duplicating client link
+        ChaosParam{4, 0.25, 0.25, 6, 11, false},
+        // everything at once, with aggressive checkpoint daemons
+        ChaosParam{5, 0.2, 0.2, 5, 8, true},
+        // checkpoints + callee crashes
+        ChaosParam{6, 0.0, 0.0, 4, 0, true}),
+    [](const ::testing::TestParamInfo<ChaosParam>& info) {
+      return "storm" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace msplog

@@ -1,0 +1,154 @@
+// Unit tests for src/common: Status, serialization, CRC32C, RNG, payloads.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/crc32c.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace msplog {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Corruption("bad frame");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.ToString(), "Corruption: bad frame");
+}
+
+TEST(StatusTest, AllPredicatesMatchCodes) {
+  EXPECT_TRUE(Status::NotFound("").IsNotFound());
+  EXPECT_TRUE(Status::TimedOut("").IsTimedOut());
+  EXPECT_TRUE(Status::Busy("").IsBusy());
+  EXPECT_TRUE(Status::Orphan("").IsOrphan());
+  EXPECT_TRUE(Status::Crashed("").IsCrashed());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+}
+
+TEST(SerdeTest, RoundTripPrimitives) {
+  BinaryWriter w;
+  w.PutU8(7);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutVarint(0);
+  w.PutVarint(127);
+  w.PutVarint(128);
+  w.PutVarint(UINT64_MAX);
+  w.PutBytes("hello");
+  w.PutBytes("");
+
+  BinaryReader r(w.buffer());
+  uint8_t u8;
+  uint32_t u32;
+  uint64_t u64, v;
+  Bytes b;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  EXPECT_EQ(u8, 7);
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  ASSERT_TRUE(r.GetVarint(&v).ok());
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(r.GetVarint(&v).ok());
+  EXPECT_EQ(v, 127u);
+  ASSERT_TRUE(r.GetVarint(&v).ok());
+  EXPECT_EQ(v, 128u);
+  ASSERT_TRUE(r.GetVarint(&v).ok());
+  EXPECT_EQ(v, UINT64_MAX);
+  ASSERT_TRUE(r.GetBytes(&b).ok());
+  EXPECT_EQ(b, "hello");
+  ASSERT_TRUE(r.GetBytes(&b).ok());
+  EXPECT_EQ(b, "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, TruncationIsCorruption) {
+  BinaryWriter w;
+  w.PutU64(1);
+  BinaryReader r(ByteView(w.buffer()).substr(0, 3));
+  uint64_t v;
+  EXPECT_TRUE(r.GetU64(&v).IsCorruption());
+}
+
+TEST(SerdeTest, TruncatedBytesIsCorruption) {
+  BinaryWriter w;
+  w.PutBytes("hello world");
+  BinaryReader r(ByteView(w.buffer()).substr(0, 4));
+  Bytes b;
+  EXPECT_TRUE(r.GetBytes(&b).IsCorruption());
+}
+
+TEST(SerdeTest, OverlongVarintIsCorruption) {
+  Bytes evil(11, '\xFF');
+  BinaryReader r(evil);
+  uint64_t v;
+  EXPECT_TRUE(r.GetVarint(&v).IsCorruption());
+}
+
+TEST(Crc32cTest, KnownVector) {
+  // CRC32C("123456789") = 0xE3069283 (well-known check value).
+  EXPECT_EQ(crc32c::Compute("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, MaskRoundTrip) {
+  uint32_t crc = crc32c::Compute("some data", 9);
+  EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+  EXPECT_NE(crc32c::Mask(crc), crc);
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  Bytes data = MakePayload(1000, 5);
+  uint32_t crc = crc32c::Compute(data);
+  data[500] ^= 0x01;
+  EXPECT_NE(crc32c::Compute(data), crc);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, ChanceBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(r.Chance(0.0));
+    EXPECT_TRUE(r.Chance(1.0));
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.Uniform(10), 10u);
+  }
+  EXPECT_EQ(r.Uniform(0), 0u);
+}
+
+TEST(PayloadTest, SizeAndDeterminism) {
+  EXPECT_EQ(MakePayload(100, 1).size(), 100u);
+  EXPECT_EQ(MakePayload(100, 1), MakePayload(100, 1));
+  EXPECT_NE(MakePayload(100, 1), MakePayload(100, 2));
+}
+
+}  // namespace
+}  // namespace msplog

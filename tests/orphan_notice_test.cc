@@ -1,0 +1,145 @@
+// Tests for the orphan-notice extension (beyond Fig. 7's silent discard):
+// a sender that missed a peer's recovery broadcast learns it is an orphan
+// from the first receiver that discards its DV-tagged request, instead of
+// retrying forever.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "msp/msp.h"
+#include "msp/service_domain.h"
+#include "rpc/client_endpoint.h"
+#include "sim/sim_disk.h"
+#include "sim/sim_env.h"
+#include "sim/sim_network.h"
+
+namespace msplog {
+namespace {
+
+class OrphanNoticeTest : public ::testing::Test {
+ protected:
+  OrphanNoticeTest()
+      : env_(0.0), net_(&env_), da_(&env_, "da"), db_(&env_, "db"),
+        dg_(&env_, "dg") {}
+
+  void SetUp() override {
+    directory_.Assign("alpha", "dom");
+    directory_.Assign("beta", "dom");
+    directory_.Assign("gamma", "dom");
+    MspConfig ca, cb, cg;
+    ca.id = "alpha";
+    cb.id = "beta";
+    cg.id = "gamma";
+    ca.flush_timeout_ms = cb.flush_timeout_ms = cg.flush_timeout_ms = 20;
+    alpha_ = std::make_unique<Msp>(&env_, &net_, &da_, &directory_, ca);
+    beta_ = std::make_unique<Msp>(&env_, &net_, &db_, &directory_, cb);
+    gamma_ = std::make_unique<Msp>(&env_, &net_, &dg_, &directory_, cg);
+
+    gamma_->RegisterMethod("gcount",
+                           [](ServiceContext* ctx, const Bytes&, Bytes* r) {
+                             Bytes cur = ctx->GetSessionVar("n");
+                             int n = cur.empty() ? 0 : std::stoi(cur);
+                             ctx->SetSessionVar("n", std::to_string(n + 1));
+                             *r = std::to_string(n + 1);
+                             return Status::OK();
+                           });
+    beta_->RegisterMethod("becho",
+                          [](ServiceContext*, const Bytes& a, Bytes* r) {
+                            *r = "b:" + a;
+                            return Status::OK();
+                          });
+    alpha_->RegisterMethod(
+        "dep_then_hop", [this](ServiceContext* ctx, const Bytes&, Bytes* r) {
+          Bytes g;
+          MSPLOG_RETURN_IF_ERROR(ctx->Call("gamma", "gcount", "", &g));
+          if (!ctx->in_replay()) {
+            held_.store(true);
+            while (gate_.load()) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+          }
+          Bytes b;
+          MSPLOG_RETURN_IF_ERROR(ctx->Call("beta", "becho", g, &b));
+          *r = b;
+          return Status::OK();
+        });
+    ASSERT_TRUE(gamma_->Start().ok());
+    ASSERT_TRUE(beta_->Start().ok());
+    ASSERT_TRUE(alpha_->Start().ok());
+  }
+
+  void TearDown() override {
+    gate_.store(false);
+    if (alpha_) alpha_->Shutdown();
+    if (beta_) beta_->Shutdown();
+    if (gamma_) gamma_->Shutdown();
+  }
+
+  SimEnvironment env_;
+  SimNetwork net_;
+  SimDisk da_, db_, dg_;
+  DomainDirectory directory_;
+  std::unique_ptr<Msp> alpha_, beta_, gamma_;
+  std::atomic<bool> gate_{false}, held_{false};
+};
+
+TEST_F(OrphanNoticeTest, LostBroadcastRecoveredViaNotice) {
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+
+  // Park alpha's session after acquiring an (unflushed) gamma dependency.
+  gate_.store(true);
+  held_.store(false);
+  std::thread t([&] {
+    Status st = client.Call(&session, "dep_then_hop", "", &reply);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+  while (!held_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Gamma crashes. Its recovery broadcast reaches beta but NOT alpha (the
+  // link drops everything gamma→alpha during the restart).
+  FaultPlan drop_all;
+  drop_all.drop_prob = 1.0;
+  net_.SetFaults("gamma", "alpha", drop_all);
+  gamma_->Crash();
+  ASSERT_TRUE(gamma_->Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  net_.SetFaults("gamma", "alpha", FaultPlan{});  // link heals
+
+  // Alpha proceeds, oblivious: its request to beta carries the orphan
+  // gamma dependency. Beta discards it per Fig. 7 — and the orphan notice
+  // tells alpha why, so alpha recovers instead of retrying forever.
+  gate_.store(false);
+  t.join();
+  EXPECT_EQ(reply, "b:1");  // exactly-once at gamma despite its crash
+  EXPECT_GE(env_.stats().orphans_detected.load(), 1u);
+  // Alpha learned gamma's recovered state number through the notice.
+  auto table = alpha_->SnapshotRecoveredTable();
+  bool knows_gamma = false;
+  for (const auto& [key, sn] : table.entries()) {
+    if (key.first == "gamma") knows_gamma = true;
+  }
+  EXPECT_TRUE(knows_gamma);
+
+  // Everything keeps working afterwards.
+  ASSERT_TRUE(client.Call(&session, "dep_then_hop", "", &reply).ok());
+  EXPECT_EQ(reply, "b:2");
+}
+
+TEST_F(OrphanNoticeTest, NoFalseNoticesOnCleanTraffic) {
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(client.Call(&session, "dep_then_hop", "", &reply).ok());
+    EXPECT_EQ(reply, "b:" + std::to_string(i));
+  }
+  EXPECT_EQ(env_.stats().orphans_detected.load(), 0u);
+}
+
+}  // namespace
+}  // namespace msplog

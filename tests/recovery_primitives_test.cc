@@ -1,0 +1,167 @@
+// Unit tests for dependency vectors and the recovered-state table — the
+// §3.1 orphan-detection machinery, including the paper's Figure 5 walk.
+#include <gtest/gtest.h>
+
+#include "recovery/dependency_vector.h"
+#include "recovery/recovered_state_table.h"
+
+namespace msplog {
+namespace {
+
+TEST(StateIdTest, Ordering) {
+  EXPECT_LT((StateId{1, 100}), (StateId{1, 200}));
+  EXPECT_LT((StateId{1, 999}), (StateId{2, 0}));  // epoch dominates
+  EXPECT_EQ((StateId{1, 5}), (StateId{1, 5}));
+  EXPECT_TRUE((StateId{1, 5}) <= (StateId{1, 5}));
+}
+
+TEST(DependencyVectorTest, MergeIsItemwiseMax) {
+  DependencyVector a, b;
+  a.Set("p1", {0, 10});
+  a.Set("p2", {0, 20});
+  b.Set("p1", {0, 11});
+  b.Set("p3", {0, 30});
+  a.Merge(b);
+  EXPECT_EQ(a.Get("p1")->sn, 11u);
+  EXPECT_EQ(a.Get("p2")->sn, 20u);
+  EXPECT_EQ(a.Get("p3")->sn, 30u);
+  EXPECT_EQ(a.entry_count(), 3u);
+}
+
+TEST(DependencyVectorTest, MergeRespectsEpochs) {
+  DependencyVector a, b;
+  a.Set("p1", {1, 999});
+  b.Set("p1", {2, 5});  // newer epoch wins even with a smaller sn
+  a.Merge(b);
+  EXPECT_EQ(a.Get("p1")->epoch, 2u);
+  EXPECT_EQ(a.Get("p1")->sn, 5u);
+}
+
+TEST(DependencyVectorTest, RaiseNeverLowers) {
+  DependencyVector a;
+  a.Set("p1", {0, 10});
+  a.Raise("p1", {0, 5});
+  EXPECT_EQ(a.Get("p1")->sn, 10u);
+  a.Raise("p1", {0, 15});
+  EXPECT_EQ(a.Get("p1")->sn, 15u);
+}
+
+TEST(DependencyVectorTest, ReplaceWith) {
+  DependencyVector a, b;
+  a.Set("p1", {0, 10});
+  b.Set("p2", {0, 20});
+  a.ReplaceWith(b);
+  EXPECT_FALSE(a.Get("p1").has_value());
+  EXPECT_EQ(a.Get("p2")->sn, 20u);
+}
+
+TEST(DependencyVectorTest, EncodeDecodeRoundTrip) {
+  DependencyVector a;
+  a.Set("p1", {1, 10});
+  a.Set("p2", {2, 20});
+  BinaryWriter w;
+  a.EncodeTo(&w);
+  DependencyVector b;
+  BinaryReader r(w.buffer());
+  ASSERT_TRUE(b.DecodeFrom(&r).ok());
+  EXPECT_EQ(a, b);
+}
+
+TEST(DependencyVectorTest, Figure5Walk) {
+  // Reproduce the dependency propagation of the paper's Figure 5.
+  DependencyVector p1, p2, p3;
+  // p1 receives input m1, logged at LSN 10.
+  p1.Set("p1", {0, 10});
+  // p1 sends m2 to p2; p2 logs at 20.
+  p2.Merge(p1);
+  p2.Set("p2", {0, 20});
+  // p2 sends m3 to p3; p3 logs at 30.
+  p3.Merge(p2);
+  p3.Set("p3", {0, 30});
+  EXPECT_EQ(p3.Get("p1")->sn, 10u);
+  EXPECT_EQ(p3.Get("p2")->sn, 20u);
+  EXPECT_EQ(p3.Get("p3")->sn, 30u);
+  // p1 receives m4 (LSN 11) and sends m5 to p3 (logs at 31).
+  DependencyVector m5;
+  m5.Set("p1", {0, 11});
+  p3.Merge(m5);
+  p3.Set("p3", {0, 31});
+  EXPECT_EQ(p3.Get("p1")->sn, 11u);
+  EXPECT_EQ(p3.Get("p2")->sn, 20u);
+  EXPECT_EQ(p3.Get("p3")->sn, 31u);
+
+  // p1 crashes. If it recovers only to state 10, p3 (which depends on
+  // p1:11 via m5) is an orphan while p2 (depending on p1:10) is not.
+  RecoveredStateTable table;
+  table.Record("p1", 0, 10);
+  EXPECT_TRUE(table.IsOrphanDv(p3));
+  EXPECT_FALSE(table.IsOrphanDv(p2));
+  // "If p1 is not able to recover to state 10, both p2 and p3 will know
+  // they are orphans" (§3.1).
+  RecoveredStateTable table0;
+  table0.Record("p1", 0, 9);
+  EXPECT_TRUE(table0.IsOrphanDv(p3));
+  EXPECT_TRUE(table0.IsOrphanDv(p2));
+  // If p1 recovers to 11, nobody is an orphan.
+  RecoveredStateTable table2;
+  table2.Record("p1", 0, 11);
+  EXPECT_FALSE(table2.IsOrphanDv(p3));
+  EXPECT_FALSE(table2.IsOrphanDv(p2));
+}
+
+TEST(RecoveredStateTableTest, OrphanOnlyForMatchingEpoch) {
+  RecoveredStateTable t;
+  t.Record("p", 1, 100);
+  EXPECT_TRUE(t.IsOrphanEntry("p", {1, 101}));
+  EXPECT_FALSE(t.IsOrphanEntry("p", {1, 100}));
+  EXPECT_FALSE(t.IsOrphanEntry("p", {1, 50}));
+  // Different epoch: no verdict from this entry.
+  EXPECT_FALSE(t.IsOrphanEntry("p", {2, 101}));
+  EXPECT_FALSE(t.IsOrphanEntry("q", {1, 101}));
+}
+
+TEST(RecoveredStateTableTest, RecordKeepsMaximum) {
+  RecoveredStateTable t;
+  t.Record("p", 1, 100);
+  t.Record("p", 1, 50);  // duplicate/stale announce
+  EXPECT_EQ(*t.RecoveredSn("p", 1), 100u);
+  t.Record("p", 1, 150);
+  EXPECT_EQ(*t.RecoveredSn("p", 1), 150u);
+}
+
+TEST(RecoveredStateTableTest, MergeAndSerialize) {
+  RecoveredStateTable a, b;
+  a.Record("p", 1, 100);
+  b.Record("q", 2, 200);
+  a.Merge(b);
+  BinaryWriter w;
+  a.EncodeTo(&w);
+  RecoveredStateTable c;
+  BinaryReader r(w.buffer());
+  ASSERT_TRUE(c.DecodeFrom(&r).ok());
+  EXPECT_EQ(*c.RecoveredSn("p", 1), 100u);
+  EXPECT_EQ(*c.RecoveredSn("q", 2), 200u);
+}
+
+TEST(RecoveredStateTableTest, MultipleEpochsPerPeer) {
+  RecoveredStateTable t;
+  t.Record("p", 1, 100);
+  t.Record("p", 2, 500);
+  EXPECT_TRUE(t.IsOrphanEntry("p", {1, 200}));
+  EXPECT_FALSE(t.IsOrphanEntry("p", {2, 400}));
+  EXPECT_TRUE(t.IsOrphanEntry("p", {2, 600}));
+}
+
+TEST(DependencyVectorTest, WireSizeGrowsWithEntries) {
+  DependencyVector a;
+  size_t s0 = a.WireSize();
+  a.Set("msp1", {0, 1});
+  size_t s1 = a.WireSize();
+  a.Set("msp2", {0, 1});
+  size_t s2 = a.WireSize();
+  EXPECT_LT(s0, s1);
+  EXPECT_LT(s1, s2);
+}
+
+}  // namespace
+}  // namespace msplog

@@ -1,0 +1,206 @@
+// Unit tests for the rpc layer: message codec and the end-client contract
+// (resend until reply, duplicate-reply discard, Busy backoff).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rpc/client_endpoint.h"
+#include "rpc/message.h"
+#include "sim/sim_env.h"
+#include "sim/sim_network.h"
+
+namespace msplog {
+namespace {
+
+TEST(MessageTest, EncodeDecodeRoundTrip) {
+  Message m;
+  m.type = MessageType::kRequest;
+  m.sender = "client1";
+  m.session_id = "client1/se1";
+  m.seqno = 17;
+  m.method = "ServiceMethod1";
+  m.payload = MakePayload(100, 3);
+  m.has_dv = true;
+  m.dv.Set("msp1", {1, 500});
+  m.reply_code = ReplyCode::kBusy;
+  m.flush_id = 9;
+  m.epoch = 2;
+  m.flush_sn = 1234;
+  m.flush_ok = true;
+  m.rec_epoch = 1;
+  m.rec_sn = 888;
+
+  Message out;
+  ASSERT_TRUE(Message::Decode(m.Encode(), &out).ok());
+  EXPECT_EQ(out.type, MessageType::kRequest);
+  EXPECT_EQ(out.sender, "client1");
+  EXPECT_EQ(out.session_id, "client1/se1");
+  EXPECT_EQ(out.seqno, 17u);
+  EXPECT_EQ(out.method, "ServiceMethod1");
+  EXPECT_EQ(out.payload, m.payload);
+  ASSERT_TRUE(out.has_dv);
+  EXPECT_EQ(out.dv.Get("msp1")->sn, 500u);
+  EXPECT_EQ(out.reply_code, ReplyCode::kBusy);
+  EXPECT_EQ(out.flush_id, 9u);
+  EXPECT_EQ(out.epoch, 2u);
+  EXPECT_EQ(out.flush_sn, 1234u);
+  EXPECT_TRUE(out.flush_ok);
+  EXPECT_EQ(out.rec_epoch, 1u);
+  EXPECT_EQ(out.rec_sn, 888u);
+}
+
+TEST(MessageTest, DecodeGarbageFails) {
+  Message out;
+  EXPECT_FALSE(Message::Decode("", &out).ok());
+  EXPECT_FALSE(Message::Decode("\x63zzz", &out).ok());
+}
+
+// A scripted server for exercising the client contract.
+class ScriptedServer {
+ public:
+  ScriptedServer(SimEnvironment* env, SimNetwork* net, std::string name)
+      : env_(env), net_(net), name_(std::move(name)) {
+    mailbox_ = net_->Register(name_);
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~ScriptedServer() {
+    net_->Unregister(name_);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// 0 = reply normally; >0 = ignore that many requests first; -N = send N
+  /// Busy replies first.
+  std::atomic<int> script{0};
+  std::atomic<int> requests_seen{0};
+
+ private:
+  void Loop() {
+    Packet p;
+    while (mailbox_->Pop(&p)) {
+      Message m;
+      if (!Message::Decode(p.wire, &m).ok()) continue;
+      requests_seen++;
+      int s = script.load();
+      Message r;
+      r.type = MessageType::kReply;
+      r.sender = name_;
+      r.session_id = m.session_id;
+      r.seqno = m.seqno;
+      if (s > 0) {
+        script = s - 1;
+        continue;  // drop the request: client must resend
+      }
+      if (s < 0) {
+        script = s + 1;
+        r.reply_code = ReplyCode::kBusy;
+      } else {
+        r.reply_code = ReplyCode::kOk;
+        r.payload = "echo:" + m.payload;
+      }
+      net_->Send(name_, p.from, r.Encode());
+    }
+  }
+
+  SimEnvironment* env_;
+  SimNetwork* net_;
+  std::string name_;
+  std::shared_ptr<Mailbox> mailbox_;
+  std::thread thread_;
+};
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest() : env_(0.0), net_(&env_) {}
+  SimEnvironment env_;
+  SimNetwork net_;
+};
+
+TEST_F(ClientTest, SimpleCallSucceeds) {
+  ScriptedServer server(&env_, &net_, "srv");
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("srv");
+  Bytes reply;
+  CallStats cs;
+  ASSERT_TRUE(client.Call(&session, "m", "hi", &reply, &cs).ok());
+  EXPECT_EQ(reply, "echo:hi");
+  EXPECT_EQ(cs.sends, 1u);
+  EXPECT_EQ(session.next_seqno, 2u);
+}
+
+TEST_F(ClientTest, ResendsUntilReply) {
+  ScriptedServer server(&env_, &net_, "srv");
+  server.script = 3;  // drop the first three sends
+  ClientOptions opts;
+  opts.resend_timeout_ms = 10;
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("srv");
+  Bytes reply;
+  CallStats cs;
+  ASSERT_TRUE(client.Call(&session, "m", "x", &reply, &cs).ok());
+  EXPECT_GE(cs.sends, 4u);
+}
+
+TEST_F(ClientTest, BusyReplyBacksOffAndRetries) {
+  ScriptedServer server(&env_, &net_, "srv");
+  server.script = -2;  // two Busy replies first (§5.4 behavior)
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("srv");
+  Bytes reply;
+  CallStats cs;
+  ASSERT_TRUE(client.Call(&session, "m", "x", &reply, &cs).ok());
+  EXPECT_EQ(cs.busy_replies, 2u);
+  EXPECT_EQ(reply, "echo:x");
+}
+
+TEST_F(ClientTest, SurvivesLossyLink) {
+  ScriptedServer server(&env_, &net_, "srv");
+  FaultPlan lossy;
+  lossy.drop_prob = 0.5;
+  net_.SetFaults("cli", "srv", lossy);
+  net_.SetFaults("srv", "cli", lossy);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("srv");
+  for (int i = 0; i < 20; ++i) {
+    Bytes reply;
+    ASSERT_TRUE(client.Call(&session, "m", std::to_string(i), &reply).ok());
+    EXPECT_EQ(reply, "echo:" + std::to_string(i));
+  }
+  EXPECT_EQ(session.next_seqno, 21u);
+}
+
+TEST_F(ClientTest, SurvivesDuplicatingLink) {
+  ScriptedServer server(&env_, &net_, "srv");
+  FaultPlan dup;
+  dup.duplicate_prob = 0.7;
+  net_.SetFaults("cli", "srv", dup);
+  net_.SetFaults("srv", "cli", dup);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("srv");
+  for (int i = 0; i < 20; ++i) {
+    Bytes reply;
+    ASSERT_TRUE(client.Call(&session, "m", std::to_string(i), &reply).ok());
+    EXPECT_EQ(reply, "echo:" + std::to_string(i));
+  }
+}
+
+TEST_F(ClientTest, DistinctSessionsGetDistinctIds) {
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto s1 = client.StartSession("srv");
+  auto s2 = client.StartSession("srv");
+  EXPECT_NE(s1.session_id, s2.session_id);
+}
+
+TEST_F(ClientTest, TimesOutAgainstDeadServer) {
+  ClientOptions opts;
+  opts.resend_timeout_ms = 5;
+  opts.max_sends = 3;
+  ClientEndpoint client(&env_, &net_, "cli", opts);
+  auto session = client.StartSession("ghost");
+  Bytes reply;
+  CallStats cs;
+  EXPECT_TRUE(client.Call(&session, "m", "x", &reply, &cs).IsTimedOut());
+  EXPECT_EQ(cs.sends, 3u);
+}
+
+}  // namespace
+}  // namespace msplog

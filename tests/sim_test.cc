@@ -1,0 +1,230 @@
+// Unit tests for the simulation substrate: SimEnvironment time scaling,
+// SimDisk durability + latency model, SimNetwork delivery and fault
+// injection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/bytes.h"
+#include "sim/sim_disk.h"
+#include "sim/sim_env.h"
+#include "sim/sim_network.h"
+
+namespace msplog {
+namespace {
+
+TEST(SimEnvTest, ZeroScaleSleepsAreInstant) {
+  SimEnvironment env(0.0);
+  uint64_t t0 = env.ElapsedRealNs();
+  env.SleepModelMs(1000.0);
+  EXPECT_LT(env.ElapsedRealNs() - t0, 5'000'000u);  // < 5 ms real
+}
+
+TEST(SimEnvTest, ScaledSleepIsAccurate) {
+  SimEnvironment env(0.1);
+  uint64_t t0 = env.ElapsedRealNs();
+  env.SleepModelMs(10.0);  // 1 ms real
+  uint64_t dt = env.ElapsedRealNs() - t0;
+  EXPECT_GE(dt, 900'000u);
+  EXPECT_LT(dt, 3'000'000u);
+}
+
+TEST(SimEnvTest, ModelClockDividesByScale) {
+  SimEnvironment env(0.1);
+  env.SleepModelMs(20.0);
+  double now = env.NowModelMs();
+  EXPECT_GE(now, 18.0);
+  EXPECT_LT(now, 40.0);
+}
+
+TEST(DiskGeometryTest, PaperFlushFormula) {
+  DiskGeometry g;  // paper defaults: 7200 RPM, 63 sectors/track, tts 1.2 ms
+  // TF2 = 60000/7200/2 + 2/63*60000/7200 + 2/63*1.2 ≈ 4.47 ms (§5.2).
+  double tf2 = g.WriteLatencyMs(2);
+  EXPECT_NEAR(tf2, 60000.0 / 7200 / 2 + 2.0 / 63 * 60000.0 / 7200 +
+                       2.0 / 63 * 1.2,
+              1e-9);
+  EXPECT_NEAR(tf2, 4.47, 0.05);
+  // Monotone in sector count.
+  EXPECT_LT(g.WriteLatencyMs(1), g.WriteLatencyMs(128));
+}
+
+TEST(SimDiskTest, WriteReadRoundTrip) {
+  SimEnvironment env(0.0);
+  SimDisk disk(&env, "d");
+  ASSERT_TRUE(disk.WriteAt("f", 0, "hello world").ok());
+  Bytes out;
+  ASSERT_TRUE(disk.ReadAt("f", 0, 11, &out).ok());
+  EXPECT_EQ(out, "hello world");
+  ASSERT_TRUE(disk.ReadAt("f", 6, 100, &out).ok());
+  EXPECT_EQ(out, "world");  // short read at EOF
+}
+
+TEST(SimDiskTest, SparseWriteZeroFills) {
+  SimEnvironment env(0.0);
+  SimDisk disk(&env, "d");
+  ASSERT_TRUE(disk.WriteAt("f", 10, "x").ok());
+  EXPECT_EQ(disk.FileSize("f"), 11u);
+  Bytes out;
+  ASSERT_TRUE(disk.ReadAt("f", 0, 11, &out).ok());
+  EXPECT_EQ(out.substr(0, 10), Bytes(10, '\0'));
+}
+
+TEST(SimDiskTest, AppendGrowsFile) {
+  SimEnvironment env(0.0);
+  SimDisk disk(&env, "d");
+  ASSERT_TRUE(disk.Append("f", "abc").ok());
+  ASSERT_TRUE(disk.Append("f", "def").ok());
+  EXPECT_EQ(disk.FileSize("f"), 6u);
+  Bytes out;
+  ASSERT_TRUE(disk.ReadAt("f", 0, 6, &out).ok());
+  EXPECT_EQ(out, "abcdef");
+}
+
+TEST(SimDiskTest, ReadMissingFileIsNotFound) {
+  SimEnvironment env(0.0);
+  SimDisk disk(&env, "d");
+  Bytes out;
+  EXPECT_TRUE(disk.ReadAt("nope", 0, 1, &out).IsNotFound());
+}
+
+TEST(SimDiskTest, TruncateAndDelete) {
+  SimEnvironment env(0.0);
+  SimDisk disk(&env, "d");
+  ASSERT_TRUE(disk.Append("f", "abcdef").ok());
+  ASSERT_TRUE(disk.Truncate("f", 3).ok());
+  EXPECT_EQ(disk.FileSize("f"), 3u);
+  ASSERT_TRUE(disk.Delete("f").ok());
+  EXPECT_FALSE(disk.Exists("f"));
+  EXPECT_TRUE(disk.Delete("f").IsNotFound());
+}
+
+TEST(SimDiskTest, StatsCountSectors) {
+  SimEnvironment env(0.0);
+  SimDisk disk(&env, "d");
+  auto before = env.stats().Snap();
+  disk.WriteAt("f", 0, Bytes(1000, 'x'));  // 2 sectors
+  auto after = env.stats().Snap();
+  EXPECT_EQ(after.disk_flushes - before.disk_flushes, 1u);
+  EXPECT_EQ(after.disk_sectors_written - before.disk_sectors_written, 2u);
+}
+
+TEST(SimDiskTest, LatencyChargedWhenScaled) {
+  SimEnvironment env(0.05);
+  DiskGeometry g;
+  g.os_interference_prob = 0.0;  // deterministic
+  SimDisk disk(&env, "d", g);
+  uint64_t t0 = env.ElapsedRealNs();
+  disk.WriteAt("f", 0, Bytes(512, 'x'));  // TF1 ≈ 4.3 ms model ≈ 215 µs real
+  uint64_t dt = env.ElapsedRealNs() - t0;
+  EXPECT_GE(dt, 150'000u);
+}
+
+TEST(SimNetworkTest, DeliversImmediatelyAtZeroScale) {
+  SimEnvironment env(0.0);
+  SimNetwork net(&env);
+  auto mb = net.Register("b");
+  net.Send("a", "b", "payload");
+  Packet p;
+  ASSERT_TRUE(mb->PopWithTimeout(&p, 1000));
+  EXPECT_EQ(p.from, "a");
+  EXPECT_EQ(p.wire, "payload");
+  net.Shutdown();
+}
+
+TEST(SimNetworkTest, UnregisteredDestinationDropsPacket) {
+  SimEnvironment env(0.0);
+  SimNetwork net(&env);
+  auto mb = net.Register("b");
+  net.Unregister("b");
+  net.Send("a", "b", "x");
+  Packet p;
+  EXPECT_FALSE(mb->PopWithTimeout(&p, 50));
+  net.Shutdown();
+}
+
+TEST(SimNetworkTest, DropFaultLosesMessages) {
+  SimEnvironment env(0.0);
+  SimNetwork net(&env);
+  auto mb = net.Register("b");
+  FaultPlan plan;
+  plan.drop_prob = 1.0;
+  net.SetFaults("a", "b", plan);
+  for (int i = 0; i < 10; ++i) net.Send("a", "b", "x");
+  Packet p;
+  EXPECT_FALSE(mb->PopWithTimeout(&p, 50));
+  EXPECT_EQ(env.stats().messages_dropped.load(), 10u);
+  net.Shutdown();
+}
+
+TEST(SimNetworkTest, DuplicateFaultDoublesDelivery) {
+  SimEnvironment env(0.0);
+  SimNetwork net(&env);
+  auto mb = net.Register("b");
+  FaultPlan plan;
+  plan.duplicate_prob = 1.0;
+  net.SetFaults("a", "b", plan);
+  net.Send("a", "b", "x");
+  Packet p;
+  ASSERT_TRUE(mb->PopWithTimeout(&p, 1000));
+  ASSERT_TRUE(mb->PopWithTimeout(&p, 1000));
+  net.Shutdown();
+}
+
+TEST(SimNetworkTest, ScaledLatencyDelaysDelivery) {
+  SimEnvironment env(0.1);
+  SimNetwork net(&env);
+  net.set_default_one_way_ms(10.0);  // 1 ms real
+  auto mb = net.Register("b");
+  net.Send("a", "b", "x");
+  Packet p;
+  EXPECT_FALSE(mb->PopWithTimeout(&p, 0));  // not yet
+  ASSERT_TRUE(mb->PopWithTimeout(&p, 1000));
+  net.Shutdown();
+}
+
+TEST(SimNetworkTest, BandwidthTermScalesWithSize) {
+  SimEnvironment env(0.0);
+  SimNetwork net(&env);
+  net.set_default_one_way_ms(1.0);
+  net.set_bandwidth_mbps(100.0);
+  // 8 KB at 100 Mbps ≈ 0.655 ms extra.
+  double small = net.OneWayMs("a", "b", 100);
+  double large = net.OneWayMs("a", "b", 8192);
+  EXPECT_NEAR(large - small, (8192.0 - 100.0) * 8.0 / (100.0 * 1000.0), 1e-9);
+  net.Shutdown();
+}
+
+TEST(SimNetworkTest, FifoWithoutJitter) {
+  SimEnvironment env(0.0);
+  SimNetwork net(&env);
+  auto mb = net.Register("b");
+  for (int i = 0; i < 100; ++i) {
+    net.Send("a", "b", Bytes(1, static_cast<char>(i)));
+  }
+  for (int i = 0; i < 100; ++i) {
+    Packet p;
+    ASSERT_TRUE(mb->PopWithTimeout(&p, 1000));
+    EXPECT_EQ(p.wire[0], static_cast<char>(i));
+  }
+  net.Shutdown();
+}
+
+TEST(MailboxTest, CloseWakesBlockedPop) {
+  Mailbox mb;
+  std::atomic<bool> returned{false};
+  std::thread t([&] {
+    Packet p;
+    EXPECT_FALSE(mb.Pop(&p));
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  mb.Close();
+  t.join();
+  EXPECT_TRUE(returned);
+}
+
+}  // namespace
+}  // namespace msplog

@@ -1,0 +1,147 @@
+// Instrumentation-integrity tests: the benchmarks interpret SimStats
+// counters, so the counters must track the underlying operations exactly on
+// controlled workloads.
+#include <gtest/gtest.h>
+
+#include "msp/msp.h"
+#include "msp/service_domain.h"
+#include "rpc/client_endpoint.h"
+#include "sim/sim_disk.h"
+#include "sim/sim_env.h"
+#include "sim/sim_network.h"
+
+namespace msplog {
+namespace {
+
+class StatsTest : public ::testing::Test {
+ protected:
+  StatsTest() : env_(0.0), net_(&env_), disk_a_(&env_, "da"),
+                disk_b_(&env_, "db") {}
+
+  void TearDown() override {
+    if (alpha_) alpha_->Shutdown();
+    if (beta_) beta_->Shutdown();
+  }
+
+  void Build(bool same_domain) {
+    directory_.Assign("alpha", "domA");
+    directory_.Assign("beta", same_domain ? "domA" : "domB");
+    MspConfig ca, cb;
+    ca.id = "alpha";
+    cb.id = "beta";
+    ca.checkpoint_daemon = cb.checkpoint_daemon = false;
+    ca.session_checkpoint_threshold_bytes = 0;
+    cb.session_checkpoint_threshold_bytes = 0;
+    ca.shared_var_checkpoint_threshold_writes = 0;
+    cb.shared_var_checkpoint_threshold_writes = 0;
+    alpha_ = std::make_unique<Msp>(&env_, &net_, &disk_a_, &directory_, ca);
+    beta_ = std::make_unique<Msp>(&env_, &net_, &disk_b_, &directory_, cb);
+    beta_->RegisterMethod("echo", [](ServiceContext*, const Bytes& a,
+                                     Bytes* r) {
+      *r = a;
+      return Status::OK();
+    });
+    alpha_->RegisterSharedVariable("sv", "0");
+    alpha_->RegisterMethod("workload", [](ServiceContext* ctx, const Bytes& a,
+                                          Bytes* r) {
+      Bytes v;
+      MSPLOG_RETURN_IF_ERROR(ctx->ReadShared("sv", &v));
+      MSPLOG_RETURN_IF_ERROR(ctx->WriteShared("sv", v + "x"));
+      return ctx->Call("beta", "echo", a, r);
+    });
+    ASSERT_TRUE(beta_->Start().ok());
+    ASSERT_TRUE(alpha_->Start().ok());
+  }
+
+  SimEnvironment env_;
+  SimNetwork net_;
+  SimDisk disk_a_, disk_b_;
+  DomainDirectory directory_;
+  std::unique_ptr<Msp> alpha_, beta_;
+};
+
+TEST_F(StatsTest, LogRecordCountsPerRequestIntraDomain) {
+  Build(/*same_domain=*/true);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  auto before = env_.stats().Snap();
+  constexpr int kN = 5;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  }
+  auto after = env_.stats().Snap();
+  // Per request: alpha logs RequestReceive + SharedRead + SharedWrite +
+  // ReplyReceive = 4; beta logs RequestReceive = 1. Five records total.
+  EXPECT_EQ(after.log_records_appended - before.log_records_appended,
+            5u * kN);
+  // One distributed flush per request (before reply1 to the end client).
+  EXPECT_EQ(after.distributed_flushes - before.distributed_flushes,
+            1u * kN);
+  // Messages: request1, request2, flush-request, flush-reply, reply2,
+  // reply1 = 6 per request.
+  EXPECT_EQ(after.messages_sent - before.messages_sent, 6u * kN);
+}
+
+TEST_F(StatsTest, CrossDomainUsesNoDvAndMoreFlushes) {
+  Build(/*same_domain=*/false);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  auto before = env_.stats().Snap();
+  constexpr int kN = 5;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  }
+  auto after = env_.stats().Snap();
+  EXPECT_EQ(after.dv_entries_attached, before.dv_entries_attached);
+  // Three distributed flushes per request (each degenerates to one local
+  // leg): before request2, before reply2, before reply1.
+  EXPECT_EQ(after.distributed_flushes - before.distributed_flushes,
+            3u * kN);
+  // Messages: request1, request2, reply2, reply1 — no flush round trips.
+  EXPECT_EQ(after.messages_sent - before.messages_sent, 4u * kN);
+  EXPECT_EQ(after.disk_flushes - before.disk_flushes, 3u * kN);
+}
+
+TEST_F(StatsTest, ReplayCounterMatchesRecoveredRequests) {
+  Build(true);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  constexpr int kN = 7;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  }
+  auto before = env_.stats().Snap();
+  alpha_->Crash();
+  ASSERT_TRUE(alpha_->Start().ok());
+  ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  auto after = env_.stats().Snap();
+  EXPECT_EQ(after.requests_replayed - before.requests_replayed,
+            static_cast<uint64_t>(kN));
+  EXPECT_EQ(after.sessions_recovered - before.sessions_recovered, 1u);
+}
+
+TEST_F(StatsTest, WastedBytesBoundedByHalfSectorPerFlushOnAverage) {
+  Build(true);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  auto before = env_.stats().Snap();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(client.Call(&session, "workload",
+                            MakePayload(50 + i * 13, i), &reply)
+                    .ok());
+  }
+  auto after = env_.stats().Snap();
+  uint64_t flushes = after.disk_flushes - before.disk_flushes;
+  uint64_t wasted = after.disk_bytes_wasted - before.disk_bytes_wasted;
+  ASSERT_GT(flushes, 0u);
+  EXPECT_LT(wasted, flushes * 512);  // strictly less than a sector each
+}
+
+}  // namespace
+}  // namespace msplog
