@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_flush_model.dir/bench_analysis_flush_model.cc.o"
+  "CMakeFiles/bench_analysis_flush_model.dir/bench_analysis_flush_model.cc.o.d"
+  "bench_analysis_flush_model"
+  "bench_analysis_flush_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_flush_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dv_overhead.dir/bench_dv_overhead.cc.o"
+  "CMakeFiles/bench_dv_overhead.dir/bench_dv_overhead.cc.o.d"
+  "bench_dv_overhead"
+  "bench_dv_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dv_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_multiclient.dir/bench_fig17_multiclient.cc.o"
+  "CMakeFiles/bench_fig17_multiclient.dir/bench_fig17_multiclient.cc.o.d"
+  "bench_fig17_multiclient"
+  "bench_fig17_multiclient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_multiclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_log_composition.dir/bench_log_composition.cc.o"
+  "CMakeFiles/bench_log_composition.dir/bench_log_composition.cc.o.d"
+  "bench_log_composition"
+  "bench_log_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_log_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;13;msplog_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shopping_cart "/root/repo/build/examples/shopping_cart")
+set_tests_properties(example_shopping_cart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;14;msplog_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_travel_booking "/root/repo/build/examples/travel_booking")
+set_tests_properties(example_travel_booking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;15;msplog_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_crash_demo "/root/repo/build/examples/crash_demo")
+set_tests_properties(example_crash_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;16;msplog_add_example;/root/repo/examples/CMakeLists.txt;0;")

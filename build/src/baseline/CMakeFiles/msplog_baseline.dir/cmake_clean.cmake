@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msplog_baseline.dir/state_server.cc.o"
+  "CMakeFiles/msplog_baseline.dir/state_server.cc.o.d"
+  "libmsplog_baseline.a"
+  "libmsplog_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msplog_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

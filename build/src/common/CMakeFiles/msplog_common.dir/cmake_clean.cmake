@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msplog_common.dir/crc32c.cc.o"
+  "CMakeFiles/msplog_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/msplog_common.dir/serde.cc.o"
+  "CMakeFiles/msplog_common.dir/serde.cc.o.d"
+  "libmsplog_common.a"
+  "libmsplog_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msplog_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msplog_db.dir/kvdb.cc.o"
+  "CMakeFiles/msplog_db.dir/kvdb.cc.o.d"
+  "libmsplog_db.a"
+  "libmsplog_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msplog_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

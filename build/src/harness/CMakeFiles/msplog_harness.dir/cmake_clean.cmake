@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msplog_harness.dir/paper_workload.cc.o"
+  "CMakeFiles/msplog_harness.dir/paper_workload.cc.o.d"
+  "libmsplog_harness.a"
+  "libmsplog_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msplog_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

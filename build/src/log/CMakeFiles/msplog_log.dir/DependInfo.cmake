@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/log_anchor.cc" "src/log/CMakeFiles/msplog_log.dir/log_anchor.cc.o" "gcc" "src/log/CMakeFiles/msplog_log.dir/log_anchor.cc.o.d"
+  "/root/repo/src/log/log_file.cc" "src/log/CMakeFiles/msplog_log.dir/log_file.cc.o" "gcc" "src/log/CMakeFiles/msplog_log.dir/log_file.cc.o.d"
+  "/root/repo/src/log/log_record.cc" "src/log/CMakeFiles/msplog_log.dir/log_record.cc.o" "gcc" "src/log/CMakeFiles/msplog_log.dir/log_record.cc.o.d"
+  "/root/repo/src/log/log_scanner.cc" "src/log/CMakeFiles/msplog_log.dir/log_scanner.cc.o" "gcc" "src/log/CMakeFiles/msplog_log.dir/log_scanner.cc.o.d"
+  "/root/repo/src/log/position_stream.cc" "src/log/CMakeFiles/msplog_log.dir/position_stream.cc.o" "gcc" "src/log/CMakeFiles/msplog_log.dir/position_stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/msplog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msplog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/msplog_recovery.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

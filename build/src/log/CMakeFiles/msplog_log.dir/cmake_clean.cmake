@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msplog_log.dir/log_anchor.cc.o"
+  "CMakeFiles/msplog_log.dir/log_anchor.cc.o.d"
+  "CMakeFiles/msplog_log.dir/log_file.cc.o"
+  "CMakeFiles/msplog_log.dir/log_file.cc.o.d"
+  "CMakeFiles/msplog_log.dir/log_record.cc.o"
+  "CMakeFiles/msplog_log.dir/log_record.cc.o.d"
+  "CMakeFiles/msplog_log.dir/log_scanner.cc.o"
+  "CMakeFiles/msplog_log.dir/log_scanner.cc.o.d"
+  "CMakeFiles/msplog_log.dir/position_stream.cc.o"
+  "CMakeFiles/msplog_log.dir/position_stream.cc.o.d"
+  "libmsplog_log.a"
+  "libmsplog_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msplog_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msp/exec_context.cc" "src/msp/CMakeFiles/msplog_msp.dir/exec_context.cc.o" "gcc" "src/msp/CMakeFiles/msplog_msp.dir/exec_context.cc.o.d"
+  "/root/repo/src/msp/msp.cc" "src/msp/CMakeFiles/msplog_msp.dir/msp.cc.o" "gcc" "src/msp/CMakeFiles/msplog_msp.dir/msp.cc.o.d"
+  "/root/repo/src/msp/msp_checkpoint.cc" "src/msp/CMakeFiles/msplog_msp.dir/msp_checkpoint.cc.o" "gcc" "src/msp/CMakeFiles/msplog_msp.dir/msp_checkpoint.cc.o.d"
+  "/root/repo/src/msp/msp_recovery.cc" "src/msp/CMakeFiles/msplog_msp.dir/msp_recovery.cc.o" "gcc" "src/msp/CMakeFiles/msplog_msp.dir/msp_recovery.cc.o.d"
+  "/root/repo/src/msp/service_domain.cc" "src/msp/CMakeFiles/msplog_msp.dir/service_domain.cc.o" "gcc" "src/msp/CMakeFiles/msplog_msp.dir/service_domain.cc.o.d"
+  "/root/repo/src/msp/thread_pool.cc" "src/msp/CMakeFiles/msplog_msp.dir/thread_pool.cc.o" "gcc" "src/msp/CMakeFiles/msplog_msp.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/msplog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msplog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/msplog_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/msplog_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/msplog_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/msplog_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msplog_msp.dir/exec_context.cc.o"
+  "CMakeFiles/msplog_msp.dir/exec_context.cc.o.d"
+  "CMakeFiles/msplog_msp.dir/msp.cc.o"
+  "CMakeFiles/msplog_msp.dir/msp.cc.o.d"
+  "CMakeFiles/msplog_msp.dir/msp_checkpoint.cc.o"
+  "CMakeFiles/msplog_msp.dir/msp_checkpoint.cc.o.d"
+  "CMakeFiles/msplog_msp.dir/msp_recovery.cc.o"
+  "CMakeFiles/msplog_msp.dir/msp_recovery.cc.o.d"
+  "CMakeFiles/msplog_msp.dir/service_domain.cc.o"
+  "CMakeFiles/msplog_msp.dir/service_domain.cc.o.d"
+  "CMakeFiles/msplog_msp.dir/thread_pool.cc.o"
+  "CMakeFiles/msplog_msp.dir/thread_pool.cc.o.d"
+  "libmsplog_msp.a"
+  "libmsplog_msp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msplog_msp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msplog_recovery.dir/dependency_vector.cc.o"
+  "CMakeFiles/msplog_recovery.dir/dependency_vector.cc.o.d"
+  "CMakeFiles/msplog_recovery.dir/recovered_state_table.cc.o"
+  "CMakeFiles/msplog_recovery.dir/recovered_state_table.cc.o.d"
+  "libmsplog_recovery.a"
+  "libmsplog_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msplog_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/client_endpoint.cc" "src/rpc/CMakeFiles/msplog_rpc.dir/client_endpoint.cc.o" "gcc" "src/rpc/CMakeFiles/msplog_rpc.dir/client_endpoint.cc.o.d"
+  "/root/repo/src/rpc/message.cc" "src/rpc/CMakeFiles/msplog_rpc.dir/message.cc.o" "gcc" "src/rpc/CMakeFiles/msplog_rpc.dir/message.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/msplog_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msplog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/msplog_recovery.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msplog_rpc.dir/client_endpoint.cc.o"
+  "CMakeFiles/msplog_rpc.dir/client_endpoint.cc.o.d"
+  "CMakeFiles/msplog_rpc.dir/message.cc.o"
+  "CMakeFiles/msplog_rpc.dir/message.cc.o.d"
+  "libmsplog_rpc.a"
+  "libmsplog_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msplog_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/sim_disk.cc" "src/sim/CMakeFiles/msplog_sim.dir/sim_disk.cc.o" "gcc" "src/sim/CMakeFiles/msplog_sim.dir/sim_disk.cc.o.d"
+  "/root/repo/src/sim/sim_env.cc" "src/sim/CMakeFiles/msplog_sim.dir/sim_env.cc.o" "gcc" "src/sim/CMakeFiles/msplog_sim.dir/sim_env.cc.o.d"
+  "/root/repo/src/sim/sim_network.cc" "src/sim/CMakeFiles/msplog_sim.dir/sim_network.cc.o" "gcc" "src/sim/CMakeFiles/msplog_sim.dir/sim_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/msplog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msplog_sim.dir/sim_disk.cc.o"
+  "CMakeFiles/msplog_sim.dir/sim_disk.cc.o.d"
+  "CMakeFiles/msplog_sim.dir/sim_env.cc.o"
+  "CMakeFiles/msplog_sim.dir/sim_env.cc.o.d"
+  "CMakeFiles/msplog_sim.dir/sim_network.cc.o"
+  "CMakeFiles/msplog_sim.dir/sim_network.cc.o.d"
+  "libmsplog_sim.a"
+  "libmsplog_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msplog_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

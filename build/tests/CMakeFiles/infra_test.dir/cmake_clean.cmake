@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infra_test.dir/infra_test.cc.o"
+  "CMakeFiles/infra_test.dir/infra_test.cc.o.d"
+  "infra_test"
+  "infra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

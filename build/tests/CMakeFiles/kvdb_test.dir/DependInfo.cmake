@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kvdb_test.cc" "tests/CMakeFiles/kvdb_test.dir/kvdb_test.cc.o" "gcc" "tests/CMakeFiles/kvdb_test.dir/kvdb_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/msplog_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/msp/CMakeFiles/msplog_msp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/msplog_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/msplog_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/log/CMakeFiles/msplog_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/msplog_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/msplog_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/msplog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/msplog_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

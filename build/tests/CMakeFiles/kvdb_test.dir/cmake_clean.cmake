@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvdb_test.dir/kvdb_test.cc.o"
+  "CMakeFiles/kvdb_test.dir/kvdb_test.cc.o.d"
+  "kvdb_test"
+  "kvdb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

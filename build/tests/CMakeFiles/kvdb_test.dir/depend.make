@@ -1,0 +1,2 @@
+# Empty dependencies file for kvdb_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msp_basic_test.dir/msp_basic_test.cc.o"
+  "CMakeFiles/msp_basic_test.dir/msp_basic_test.cc.o.d"
+  "msp_basic_test"
+  "msp_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msp_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

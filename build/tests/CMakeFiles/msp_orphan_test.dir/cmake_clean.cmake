@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msp_orphan_test.dir/msp_orphan_test.cc.o"
+  "CMakeFiles/msp_orphan_test.dir/msp_orphan_test.cc.o.d"
+  "msp_orphan_test"
+  "msp_orphan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msp_orphan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msp_recovery_test.dir/msp_recovery_test.cc.o"
+  "CMakeFiles/msp_recovery_test.dir/msp_recovery_test.cc.o.d"
+  "msp_recovery_test"
+  "msp_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msp_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orphan_notice_test.dir/orphan_notice_test.cc.o"
+  "CMakeFiles/orphan_notice_test.dir/orphan_notice_test.cc.o.d"
+  "orphan_notice_test"
+  "orphan_notice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orphan_notice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

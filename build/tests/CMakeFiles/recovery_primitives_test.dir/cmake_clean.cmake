@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_primitives_test.dir/recovery_primitives_test.cc.o"
+  "CMakeFiles/recovery_primitives_test.dir/recovery_primitives_test.cc.o.d"
+  "recovery_primitives_test"
+  "recovery_primitives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

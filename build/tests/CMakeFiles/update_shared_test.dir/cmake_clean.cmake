@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_shared_test.dir/update_shared_test.cc.o"
+  "CMakeFiles/update_shared_test.dir/update_shared_test.cc.o.d"
+  "update_shared_test"
+  "update_shared_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_shared_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
