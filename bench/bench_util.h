@@ -3,11 +3,20 @@
 // regenerates one table or figure from §5 of "Log-Based Recovery for
 // Middleware Servers" (SIGMOD 2007); absolute numbers differ from the
 // paper's testbed, the *shape* (ordering, growth, crossovers) is the target.
+// Machine-readable results: each bench binary also emits one line
+//
+//   BENCH_JSON {"bench":"...", ...}
+//
+// (via Json + EmitJson below) so scripts — scripts/check_bench_json.py in
+// CTest, plotting notebooks, CI trend trackers — can scrape structured
+// numbers out of the human-readable report without parsing tables.
 #pragma once
 
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace msplog {
 namespace bench {
@@ -62,6 +71,68 @@ inline std::string Fmt(double v, int prec = 2) {
   char buf[64];
   snprintf(buf, sizeof(buf), "%.*f", prec, v);
   return buf;
+}
+
+/// Minimal insertion-ordered JSON object builder. Values added with AddRaw
+/// must already be valid JSON (nested objects, arrays, numbers).
+class Json {
+ public:
+  Json& Add(const std::string& key, const std::string& value) {
+    return AddRaw(key, "\"" + obs::JsonEscape(value) + "\"");
+  }
+  Json& Add(const std::string& key, const char* value) {
+    return Add(key, std::string(value));
+  }
+  Json& Add(const std::string& key, double value) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.6g", value);
+    return AddRaw(key, buf);
+  }
+  Json& Add(const std::string& key, uint64_t value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  Json& Add(const std::string& key, int value) {
+    return AddRaw(key, std::to_string(value));
+  }
+  Json& Add(const std::string& key, bool value) {
+    return AddRaw(key, value ? "true" : "false");
+  }
+  /// Full quantile summary of a histogram snapshot.
+  Json& Add(const std::string& key, const obs::Histogram::Snapshot& s) {
+    return AddRaw(key, obs::SnapshotJson(s));
+  }
+  Json& AddRaw(const std::string& key, const std::string& json_value) {
+    fields_.push_back({key, json_value});
+    return *this;
+  }
+
+  std::string Str() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ",";
+      out += "\"" + obs::JsonEscape(fields_[i].first) +
+             "\":" + fields_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Print the canonical machine-readable line for bench `name`.
+inline void EmitJson(const std::string& name, const Json& body) {
+  Json wrapped;
+  wrapped.Add("bench", name);
+  std::string inner = body.Str();
+  // splice: {"bench":"..."} + body fields
+  std::string head = wrapped.Str();
+  head.pop_back();  // drop '}'
+  if (inner.size() > 2) head += "," + inner.substr(1);
+  else head += "}";
+  printf("BENCH_JSON %s\n", head.c_str());
+  fflush(stdout);
 }
 
 }  // namespace bench

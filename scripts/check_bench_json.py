@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Validate the BENCH_JSON machine-readable output of a bench binary.
+
+Usage:  check_bench_json.py <bench-binary> [args...]
+
+Runs the binary, scrapes every line of the form
+
+    BENCH_JSON {...}
+
+and checks that each blob parses as JSON and carries the expected schema:
+a "bench" name, response-time quantiles (p50 <= p90 <= p99 <= max), and
+histogram breakdown objects with consistent count/quantile fields.
+Registered in CTest against `bench_fig14_response_time --quick`.
+"""
+import json
+import subprocess
+import sys
+
+REQUIRED_TOP = ["bench", "requests", "avg_ms", "p50_ms", "p90_ms", "p99_ms"]
+REQUIRED_HIST = ["count", "mean", "p50", "p90", "p99", "min", "max"]
+HIST_KEYS = ["response", "queue_wait", "execute", "flush_wait"]
+
+
+def fail(msg):
+    print("check_bench_json: FAIL: %s" % msg)
+    sys.exit(1)
+
+
+def check_hist(name, h):
+    if not isinstance(h, dict):
+        fail("%s is not an object: %r" % (name, h))
+    for k in REQUIRED_HIST:
+        if k not in h:
+            fail("%s missing field %r (has %s)" % (name, k, sorted(h)))
+    if h["count"] < 0:
+        fail("%s negative count" % name)
+    if h["count"] > 0:
+        if not (h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"]):
+            fail("%s quantiles not monotonic: %r" % (name, h))
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_bench_json.py <bench-binary> [args...]")
+    cmd = sys.argv[1:]
+    try:
+        out = subprocess.run(cmd, capture_output=True, text=True, timeout=600)
+    except subprocess.TimeoutExpired:
+        fail("bench binary timed out: %s" % " ".join(cmd))
+    if out.returncode != 0:
+        fail("bench binary exited %d:\n%s" % (out.returncode, out.stderr))
+
+    blobs = []
+    for line in out.stdout.splitlines():
+        if not line.startswith("BENCH_JSON "):
+            continue
+        raw = line[len("BENCH_JSON "):]
+        try:
+            blobs.append(json.loads(raw))
+        except ValueError as e:
+            fail("unparseable BENCH_JSON line (%s): %s" % (e, raw))
+    if not blobs:
+        fail("no BENCH_JSON lines in output of: %s" % " ".join(cmd))
+
+    for blob in blobs:
+        for k in REQUIRED_TOP:
+            if k not in blob:
+                fail("blob missing field %r: %s" % (k, sorted(blob)))
+        if blob["requests"] <= 0:
+            fail("blob reports zero completed requests: %r" % blob)
+        if not (0 < blob["p50_ms"] <= blob["p90_ms"] <= blob["p99_ms"]):
+            fail("response quantiles not monotonic: %r" % blob)
+        for k in HIST_KEYS:
+            if k in blob:
+                check_hist(k, blob[k])
+        # The server must have attributed work to the breakdowns.
+        if "execute" in blob and blob["execute"]["count"] == 0:
+            fail("execute histogram recorded nothing: %r" % blob)
+
+    print("check_bench_json: OK (%d blob(s) from %s)"
+          % (len(blobs), " ".join(cmd)))
+
+
+if __name__ == "__main__":
+    main()

@@ -236,6 +236,7 @@ RunResult PaperWorkload::RunMultiClient(int clients, int requests_per_client,
   };
   std::vector<PerClient> results(clients);
   std::atomic<uint64_t> global_count{0};
+  auto response_hist = std::make_unique<obs::Histogram>();
 
   double t0 = env_->NowModelMs();
   std::vector<std::thread> threads;
@@ -252,6 +253,7 @@ RunResult PaperWorkload::RunMultiClient(int clients, int requests_per_client,
         Status st = client->Call(&session, "ServiceMethod1", arg, &reply, &cs);
         if (!st.ok()) continue;  // timed-out request: not counted
         results[i].sum_ms += cs.response_model_ms;
+        response_hist->Record(cs.response_model_ms);
         results[i].max_ms = std::max(results[i].max_ms, cs.response_model_ms);
         results[i].done++;
         results[i].resends += cs.sends - 1;
@@ -276,6 +278,10 @@ RunResult PaperWorkload::RunMultiClient(int clients, int requests_per_client,
     out.busy_replies += r.busy;
   }
   if (out.requests > 0) out.avg_response_ms /= static_cast<double>(out.requests);
+  out.response_hist = response_hist->Snap();
+  out.p50_ms = out.response_hist.P50();
+  out.p90_ms = out.response_hist.P90();
+  out.p99_ms = out.response_hist.P99();
   out.elapsed_model_ms = elapsed;
   if (elapsed > 0) {
     out.throughput_rps = static_cast<double>(out.requests) / (elapsed / 1000.0);

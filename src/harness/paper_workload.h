@@ -97,10 +97,15 @@ struct RunResult {
   uint64_t requests = 0;
   double avg_response_ms = 0;
   double max_response_ms = 0;
+  double p50_ms = 0;  ///< response-time quantiles over completed requests
+  double p90_ms = 0;
+  double p99_ms = 0;
   double throughput_rps = 0;  ///< requests per model second
   double elapsed_model_ms = 0;
   uint64_t resends = 0;
   uint64_t busy_replies = 0;
+  /// Full response-time distribution (merge-able across runs).
+  obs::Histogram::Snapshot response_hist{};
 };
 
 class PaperWorkload {

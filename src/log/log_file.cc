@@ -60,6 +60,12 @@ LogFile::LogFile(SimEnvironment* env, SimDisk* disk, std::string file_name,
       file_name_(std::move(file_name)),
       options_(options),
       sector_bytes_(disk->geometry().sector_bytes) {
+  obs::MetricsRegistry& m = env_->metrics();
+  hist_append_bytes_ = m.GetHistogram("log.append_bytes");
+  hist_flush_wait_ms_ = m.GetHistogram("log.flush_wait_ms");
+  hist_flush_write_ms_ = m.GetHistogram("log.flush_write_ms");
+  hist_flush_batch_bytes_ = m.GetHistogram("log.flush_batch_bytes");
+  ctr_physical_flushes_ = m.GetCounter("log.physical_flushes");
   // Resume appending after the existing durable extent (sector-aligned).
   // The first sector is reserved so that no record ever has LSN 0 — LSN 0
   // is the "none" sentinel in checkpoints and session metadata. The scanner
@@ -94,6 +100,7 @@ uint64_t LogFile::Append(const LogRecord& rec, size_t* framed_size) {
   buffer_.append(frame);
   env_->stats().log_records_appended.fetch_add(1);
   env_->stats().log_bytes_appended.fetch_add(frame.size());
+  hist_append_bytes_->Record(static_cast<double>(frame.size()));
   if (buffer_.size() > options_.max_buffer_bytes && !crashed_) {
     // Safety valve: flush inline on the appender's thread.
     if (flush_in_progress_) {
@@ -125,6 +132,10 @@ Status LogFile::DoFlushLocked(std::unique_lock<std::mutex>& lk) {
 
   lk.unlock();
   if (options_.on_physical_write) options_.on_physical_write();
+  double t0 = env_->NowModelMs();
+  env_->tracer().Record(obs::TraceEventType::kLocalFlushStart, t0, file_name_,
+                        /*session=*/"", /*seqno=*/0,
+                        "bytes=" + std::to_string(padded));
   // Write in blocks of at most max_block_sectors (1–128 sectors, §5.2).
   const uint64_t max_block_bytes =
       static_cast<uint64_t>(options_.max_block_sectors) * sector_bytes_;
@@ -135,6 +146,11 @@ Status LogFile::DoFlushLocked(std::unique_lock<std::mutex>& lk) {
                         ByteView(pending_).substr(off, n));
     if (!st.ok()) break;
   }
+  double t1 = env_->NowModelMs();
+  env_->tracer().Record(obs::TraceEventType::kLocalFlushEnd, t1, file_name_);
+  hist_flush_write_ms_->Record(t1 - t0);
+  hist_flush_batch_bytes_->Record(static_cast<double>(padded));
+  ctr_physical_flushes_->Add(1);
   lk.lock();
 
   if (st.ok() && !crashed_) {
@@ -147,6 +163,13 @@ Status LogFile::DoFlushLocked(std::unique_lock<std::mutex>& lk) {
 }
 
 Status LogFile::FlushUpTo(uint64_t lsn) {
+  double t0 = env_->NowModelMs();
+  Status st = FlushUpToImpl(lsn);
+  hist_flush_wait_ms_->Record(env_->NowModelMs() - t0);
+  return st;
+}
+
+Status LogFile::FlushUpToImpl(uint64_t lsn) {
   std::unique_lock<std::mutex> lk(mu_);
   if (lsn >= buffer_base_ + buffer_.size()) {
     return Status::InvalidArgument("flush target beyond log end");
@@ -180,7 +203,14 @@ Status LogFile::FlushUpTo(uint64_t lsn) {
     flush_in_progress_ = true;
     lk.unlock();
     if (options_.on_physical_write) options_.on_physical_write();
+    double bt0 = env_->NowModelMs();
+    env_->tracer().Record(obs::TraceEventType::kLocalFlushStart, bt0,
+                          file_name_, /*session=*/"", /*seqno=*/0, "barrier");
     disk_->Barrier(1);
+    double bt1 = env_->NowModelMs();
+    env_->tracer().Record(obs::TraceEventType::kLocalFlushEnd, bt1, file_name_);
+    hist_flush_write_ms_->Record(bt1 - bt0);
+    ctr_physical_flushes_->Add(1);
     lk.lock();
     flush_in_progress_ = false;
     cv_.notify_all();

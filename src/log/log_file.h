@@ -96,6 +96,7 @@ class LogFile {
   void Stop();
 
  private:
+  Status FlushUpToImpl(uint64_t lsn);
   Status DoFlushLocked(std::unique_lock<std::mutex>& lk);
   void BatchFlusherLoop();
 
@@ -104,6 +105,13 @@ class LogFile {
   std::string file_name_;
   LogFileOptions options_;
   uint32_t sector_bytes_;
+
+  // Observability handles (owned by the environment's registry).
+  obs::Histogram* hist_append_bytes_;      ///< "log.append_bytes"
+  obs::Histogram* hist_flush_wait_ms_;     ///< "log.flush_wait_ms" per FlushUpTo
+  obs::Histogram* hist_flush_write_ms_;    ///< "log.flush_write_ms" per phys write
+  obs::Histogram* hist_flush_batch_bytes_; ///< "log.flush_batch_bytes"
+  obs::Counter* ctr_physical_flushes_;     ///< "log.physical_flushes"
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -21,7 +21,15 @@ Msp::Msp(SimEnvironment* env, SimNetwork* network, SimDisk* disk,
       disk_(disk),
       directory_(directory),
       config_(std::move(config)),
-      anchor_(disk, config_.id + ".anchor") {}
+      anchor_(disk, config_.id + ".anchor") {
+  obs::MetricsRegistry& m = env_->metrics();
+  hist_queue_wait_ms_ = m.GetHistogram("msp.queue_wait_ms");
+  hist_execute_ms_ = m.GetHistogram("msp.execute_ms");
+  hist_flush_wait_ms_ = m.GetHistogram("msp.flush_wait_ms");
+  hist_request_ms_ = m.GetHistogram("msp.request_ms");
+  hist_replay_ms_ = m.GetHistogram("msp.replay_ms");
+  ctr_requests_ = m.GetCounter("msp.requests");
+}
 
 Msp::~Msp() {
   if (state_.load() == State::kRunning) Shutdown();
@@ -303,7 +311,10 @@ void Msp::HandleRequestMsg(Message m) {
     if (s->recovering) {
       busy = true;  // §5.4: client sleeps 100 ms and resends
     } else {
-      s->pending_requests.push_back(std::move(m));
+      double now_ms = env_->NowModelMs();
+      env_->tracer().Record(obs::TraceEventType::kEnqueue, now_ms, config_.id,
+                            m.session_id, m.seqno, m.method);
+      s->pending_requests.push_back({std::move(m), now_ms});
       if (!s->worker_active) {
         s->worker_active = true;
         arm = true;
@@ -322,6 +333,7 @@ void Msp::HandleRequestMsg(Message m) {
 void Msp::SessionWorker(std::shared_ptr<Session> s) {
   while (true) {
     Message m;
+    double enqueue_ms = 0;
     bool have_msg = false;
     bool check_orphan = false;
     bool take_cp = false;
@@ -338,7 +350,8 @@ void Msp::SessionWorker(std::shared_ptr<Session> s) {
         s->needs_checkpoint = false;
         take_cp = true;
       } else if (!s->pending_requests.empty()) {
-        m = std::move(s->pending_requests.front());
+        m = std::move(s->pending_requests.front().msg);
+        enqueue_ms = s->pending_requests.front().enqueue_model_ms;
         s->pending_requests.pop_front();
         have_msg = true;
       } else {
@@ -360,7 +373,13 @@ void Msp::SessionWorker(std::shared_ptr<Session> s) {
       }
       continue;
     }
-    if (have_msg) ProcessRequest(s, m);
+    if (have_msg) {
+      double t_start = env_->NowModelMs();
+      hist_queue_wait_ms_->Record(t_start - enqueue_ms);
+      ProcessRequest(s, m);
+      hist_request_ms_->Record(env_->NowModelMs() - t_start);
+      ctr_requests_->Add(1);
+    }
   }
 }
 
@@ -406,6 +425,9 @@ Status Msp::ProcessRequestLogBased(Session* s, const Message& m) {
     }
     if (witness) {
       env_->stats().orphans_detected.fetch_add(1);
+      env_->tracer().Record(obs::TraceEventType::kOrphanDetected,
+                            env_->NowModelMs(), config_.id, s->id, m.seqno,
+                            "witness=" + witness->msp);
       Message r;
       r.type = MessageType::kReply;
       r.sender = config_.id;
@@ -477,7 +499,14 @@ Status Msp::ProcessRequestLogBased(Session* s, const Message& m) {
   // Execute the service method.
   ExecContext ctx(this, s, ExecContext::Mode::kNormal, m.seqno);
   Bytes result;
+  env_->tracer().Record(obs::TraceEventType::kExecStart, env_->NowModelMs(),
+                        config_.id, s->id, m.seqno, m.method);
+  double exec_t0 = env_->NowModelMs();
   Status st = InvokeMethod(m.method, &ctx, m.payload, &result);
+  double exec_t1 = env_->NowModelMs();
+  hist_execute_ms_->Record(exec_t1 - exec_t0);
+  env_->tracer().Record(obs::TraceEventType::kExecEnd, exec_t1, config_.id,
+                        s->id, m.seqno, st.ok() ? "" : st.ToString());
   if (st.IsOrphan()) return RecoverSessionReplay(s);
   if (st.IsCrashed() || st.IsTimedOut()) return st;
 
@@ -535,6 +564,8 @@ Status Msp::SendReply(Session* s, ReplyCode code, const Bytes& payload,
     }
   }
   network_->Send(config_.id, s->client, r.Encode());
+  env_->tracer().Record(obs::TraceEventType::kReplySent, env_->NowModelMs(),
+                        config_.id, s->id, seqno);
   return Status::OK();
 }
 
@@ -901,6 +932,20 @@ Status Msp::OutgoingCallImpl(Session* s, const std::string& target,
 
 Status Msp::DistributedFlush(const DependencyVector& dv) {
   if (config_.mode != RecoveryMode::kLogBased) return Status::OK();
+  double t0 = env_->NowModelMs();
+  env_->tracer().Record(obs::TraceEventType::kDistFlushStart, t0, config_.id,
+                        /*session=*/"", /*seqno=*/0,
+                        "dv_entries=" + std::to_string(dv.entry_count()));
+  Status st = DistributedFlushImpl(dv);
+  double t1 = env_->NowModelMs();
+  hist_flush_wait_ms_->Record(t1 - t0);
+  env_->tracer().Record(obs::TraceEventType::kDistFlushEnd, t1, config_.id,
+                        /*session=*/"", /*seqno=*/0,
+                        st.ok() ? "" : st.ToString());
+  return st;
+}
+
+Status Msp::DistributedFlushImpl(const DependencyVector& dv) {
   env_->stats().distributed_flushes.fetch_add(1);
 
   struct Leg {
@@ -996,6 +1041,10 @@ Status Msp::DistributedFlush(const DependencyVector& dv) {
             recovered_table_.Record(leg.peer, m.rec_epoch, m.rec_sn);
           }
           env_->stats().orphans_detected.fetch_add(1);
+          env_->tracer().Record(obs::TraceEventType::kOrphanDetected,
+                                env_->NowModelMs(), config_.id,
+                                /*session=*/"", /*seqno=*/0,
+                                "flush_leg=" + leg.peer);
           result = Status::Orphan("flush failed at " + leg.peer);
           break;
         }

@@ -47,6 +47,7 @@
 #include "msp/session.h"
 #include "msp/shared_variable.h"
 #include "msp/thread_pool.h"
+#include "obs/recovery_timeline.h"
 #include "recovery/recovered_state_table.h"
 #include "rpc/message.h"
 #include "sim/sim_disk.h"
@@ -111,8 +112,18 @@ class Msp {
   bool HasSession(const std::string& session_id) const;
   size_t SessionCount() const;
   RecoveredStateTable SnapshotRecoveredTable() const;
-  /// Model ms the most recent crash recovery (scan phase) took.
-  double last_recovery_scan_ms() const { return last_recovery_scan_ms_; }
+
+  /// Structured timeline of the most recent crash recovery: analysis-scan
+  /// duration and volume, per-session replay phases, parallelism achieved,
+  /// and orphan-recovery events observed since that recovery started.
+  obs::RecoveryTimeline LastRecoveryTimeline() const;
+
+  /// Model ms the most recent crash recovery's analysis scan took.
+  /// Back-compat shim over LastRecoveryTimeline().analysis_scan_ms.
+  double last_recovery_scan_ms() const {
+    std::lock_guard<std::mutex> lk(timeline_mu_);
+    return last_recovery_timeline_.analysis_scan_ms;
+  }
 
  private:
   friend class ExecContext;
@@ -165,7 +176,9 @@ class Msp {
                        uint32_t max_sends = 0);
 
   // ---- distributed log flush (§3.1) ----
+  /// Timing/tracing wrapper around DistributedFlushImpl.
   Status DistributedFlush(const DependencyVector& dv);
+  Status DistributedFlushImpl(const DependencyVector& dv);
 
   // ---- orphan machinery ----
   bool SessionIsOrphan(const Session* s) const;
@@ -190,9 +203,12 @@ class Msp {
   // ---- recovery (§4) ----
   Status CrashRecovery();
   /// Replay loop handling repeated orphan-ness under multiple crashes.
-  Status RecoverSessionReplay(Session* s);
+  /// `from_crash` marks replays launched by crash recovery (vs lazy orphan
+  /// recovery) in the recovery timeline.
+  Status RecoverSessionReplay(Session* s, bool from_crash = false);
   /// One replay pass from the latest checkpoint along the position stream.
-  Status ReplayOnce(Session* s);
+  /// `replayed_out`, when set, accumulates the number of requests replayed.
+  Status ReplayOnce(Session* s, uint64_t* replayed_out = nullptr);
   void SessionRecoveryTask(std::shared_ptr<Session> s);
 
   // ---- baseline substrate ----
@@ -274,7 +290,21 @@ class Msp {
 
   uint64_t last_msp_cp_log_end_ = 0;
   RequestHook after_request_hook_;
-  double last_recovery_scan_ms_ = 0;
+
+  /// Timeline of the most recent CrashRecovery(); session-replay entries
+  /// (including lazy orphan recoveries) are appended as they finish.
+  mutable std::mutex timeline_mu_;
+  obs::RecoveryTimeline last_recovery_timeline_;
+  /// Concurrent RecoverSessionReplay calls right now / high-water mark.
+  std::atomic<uint32_t> active_replays_{0};
+
+  // Observability handles (owned by the environment's registry).
+  obs::Histogram* hist_queue_wait_ms_;  ///< "msp.queue_wait_ms"
+  obs::Histogram* hist_execute_ms_;     ///< "msp.execute_ms"
+  obs::Histogram* hist_flush_wait_ms_;  ///< "msp.flush_wait_ms" (dist flush)
+  obs::Histogram* hist_request_ms_;     ///< "msp.request_ms" (dequeue→done)
+  obs::Histogram* hist_replay_ms_;      ///< "msp.replay_ms" per session replay
+  obs::Counter* ctr_requests_;          ///< "msp.requests"
 
   std::unique_ptr<KvDb> psession_db_;
 };

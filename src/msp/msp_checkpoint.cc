@@ -13,9 +13,18 @@ namespace msplog {
 
 Status Msp::TakeSessionCheckpoint(Session* s) {
   if (config_.mode != RecoveryMode::kLogBased) return Status::Unsupported("");
+  env_->tracer().Record(obs::TraceEventType::kCheckpointBegin,
+                        env_->NowModelMs(), config_.id, s->id, /*seqno=*/0,
+                        "session");
   // §3.2: prior to a session checkpoint, a distributed log flush as dictated
   // by the session's DV ensures the checkpointed state is never an orphan.
-  MSPLOG_RETURN_IF_ERROR(DistributedFlush(s->dv));
+  Status fst = DistributedFlush(s->dv);
+  if (!fst.ok()) {
+    env_->tracer().Record(obs::TraceEventType::kCheckpointEnd,
+                          env_->NowModelMs(), config_.id, s->id, /*seqno=*/0,
+                          "session " + fst.ToString());
+    return fst;
+  }
 
   LogRecord rec;
   rec.type = LogRecordType::kSessionCheckpoint;
@@ -29,6 +38,9 @@ Status Msp::TakeSessionCheckpoint(Session* s) {
   s->bytes_logged_since_cp = 0;
   s->msp_cps_since_cp = 0;
   env_->stats().checkpoints_session.fetch_add(1);
+  env_->tracer().Record(obs::TraceEventType::kCheckpointEnd,
+                        env_->NowModelMs(), config_.id, s->id, /*seqno=*/0,
+                        "session");
   return Status::OK();
 }
 
@@ -59,6 +71,9 @@ Status Msp::TakeMspCheckpoint(bool force_units) {
     return Status::Unsupported("");
   }
   std::lock_guard<std::mutex> cp_guard(msp_cp_mu_);
+  env_->tracer().Record(obs::TraceEventType::kCheckpointBegin,
+                        env_->NowModelMs(), config_.id, /*session=*/"",
+                        /*seqno=*/0, force_units ? "msp forced" : "msp");
 
   // Pre-pass: make sure every shared variable has a checkpoint position, so
   // the analysis-scan start point is bounded (§3.4 forced checkpoints).
@@ -146,6 +161,9 @@ Status Msp::TakeMspCheckpoint(bool force_units) {
   for (auto& s : stale_sessions) {
     pool_->Submit([this, s] { SessionWorker(s); });
   }
+  env_->tracer().Record(obs::TraceEventType::kCheckpointEnd,
+                        env_->NowModelMs(), config_.id, /*session=*/"",
+                        /*seqno=*/0, "msp");
   return Status::OK();
 }
 

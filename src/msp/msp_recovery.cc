@@ -18,8 +18,14 @@ std::string PosFileName(const std::string& msp, const std::string& session) {
 }
 }  // namespace
 
+obs::RecoveryTimeline Msp::LastRecoveryTimeline() const {
+  std::lock_guard<std::mutex> lk(timeline_mu_);
+  return last_recovery_timeline_;
+}
+
 Status Msp::CrashRecovery() {
   double t0 = env_->NowModelMs();
+  env_->tracer().Record(obs::TraceEventType::kRecoveryStart, t0, config_.id);
   const std::string log_file = config_.id + ".log";
 
   // Epoch handling: bump and persist the epoch BEFORE anything else, so a
@@ -36,6 +42,13 @@ Status Msp::CrashRecovery() {
   }
   epoch_.store(old_epoch + 1);
   MSPLOG_RETURN_IF_ERROR(anchor_.Write({msp_cp_lsn, epoch_.load()}));
+
+  {
+    std::lock_guard<std::mutex> lk(timeline_mu_);
+    last_recovery_timeline_ = obs::RecoveryTimeline();
+    last_recovery_timeline_.epoch = epoch_.load();
+    last_recovery_timeline_.started_model_ms = t0;
+  }
 
   // Re-initialize from the most recent MSP checkpoint (Fig. 12).
   uint64_t min_lsn = 0;
@@ -94,6 +107,7 @@ Status Msp::CrashRecovery() {
     return s;
   };
 
+  uint64_t scanned_records = 0;
   LogScanner scanner(disk_, log_file, min_lsn, durable);
   while (true) {
     LogRecord rec;
@@ -101,6 +115,7 @@ Status Msp::CrashRecovery() {
     if (st.IsNotFound()) break;
     if (st.IsCorruption()) break;  // torn tail: the durable log ends here
     MSPLOG_RETURN_IF_ERROR(st);
+    ++scanned_records;
 
     switch (rec.type) {
       case LogRecordType::kSessionStart: {
@@ -188,6 +203,7 @@ Status Msp::CrashRecovery() {
   }
 
   // Hand the reconstructed position streams to the sessions.
+  uint64_t sessions_to_recover = 0;
   {
     std::lock_guard<std::mutex> lk(sessions_mu_);
     for (auto& [id, s] : sessions_) {
@@ -197,6 +213,23 @@ Status Msp::CrashRecovery() {
       }
       s->recovering = true;
     }
+    sessions_to_recover = sessions_.size();
+  }
+
+  // Analysis phase (§4.3) ends here: the single-threaded scan is done and
+  // every session knows its replay positions. What follows — broadcast and
+  // the fresh MSP checkpoint — is attributed separately in the timeline.
+  const double scan_end_ms = env_->NowModelMs();
+  env_->tracer().Record(obs::TraceEventType::kAnalysisScanEnd, scan_end_ms,
+                        config_.id, /*session=*/"", /*seqno=*/0,
+                        "records=" + std::to_string(scanned_records));
+  {
+    std::lock_guard<std::mutex> lk(timeline_mu_);
+    last_recovery_timeline_.analysis_scan_ms = scan_end_ms - t0;
+    last_recovery_timeline_.analysis_records_scanned = scanned_records;
+    last_recovery_timeline_.analysis_bytes_scanned =
+        durable > min_lsn ? durable - min_lsn : 0;
+    last_recovery_timeline_.sessions_to_recover = sessions_to_recover;
   }
 
   // Broadcast the recovery message within the service domain (§4.3). The
@@ -223,36 +256,67 @@ Status Msp::CrashRecovery() {
   // Fresh MSP checkpoint so the next crash starts from here (Fig. 12).
   // Unit forcing is skipped: peers cannot be flushed to before our
   // dispatcher runs.
+  const double cp_t0 = env_->NowModelMs();
   MSPLOG_RETURN_IF_ERROR(TakeMspCheckpoint(/*force_units=*/false));
 
-  last_recovery_scan_ms_ = env_->NowModelMs() - t0;
+  const double end_ms = env_->NowModelMs();
+  {
+    std::lock_guard<std::mutex> lk(timeline_mu_);
+    last_recovery_timeline_.post_scan_checkpoint_ms = end_ms - cp_t0;
+  }
+  env_->tracer().Record(obs::TraceEventType::kRecoveryEnd, end_ms, config_.id,
+                        /*session=*/"", /*seqno=*/0,
+                        "sessions=" + std::to_string(sessions_to_recover));
   return Status::OK();
 }
 
 void Msp::SessionRecoveryTask(std::shared_ptr<Session> s) {
-  (void)RecoverSessionReplay(s.get());
+  (void)RecoverSessionReplay(s.get(), /*from_crash=*/true);
   env_->stats().sessions_recovered.fetch_add(1);
 }
 
-Status Msp::RecoverSessionReplay(Session* s) {
+Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
   {
     std::lock_guard<std::mutex> lk(sessions_mu_);
     s->recovering = true;
   }
+  const double replay_t0 = env_->NowModelMs();
+  env_->tracer().Record(obs::TraceEventType::kReplayStart, replay_t0,
+                        config_.id, s->id, /*seqno=*/0,
+                        from_crash ? "crash" : "orphan");
+  const uint32_t parallel_now = active_replays_.fetch_add(1) + 1;
+  {
+    std::lock_guard<std::mutex> lk(timeline_mu_);
+    if (parallel_now > last_recovery_timeline_.max_parallel_replays) {
+      last_recovery_timeline_.max_parallel_replays = parallel_now;
+    }
+  }
+  uint64_t requests_replayed = 0;
   Status st = Status::OK();
-  int rounds = 0;
+  uint32_t rounds = 0;
   while (true) {
     if (++rounds > 64) {
       st = Status::Internal("session recovery did not converge");
       break;
     }
-    st = ReplayOnce(s);
+    st = ReplayOnce(s, &requests_replayed);
     if (st.IsOrphan()) continue;  // orphaned again mid-replay: start over
     if (!st.ok()) break;
     // §4.1 "Orphan Recovery upon Multiple Crashes": another crash may have
     // arrived while we replayed; re-check before declaring victory.
     if (SessionIsOrphan(s)) continue;
     break;
+  }
+  active_replays_.fetch_sub(1);
+  const double replay_ms = env_->NowModelMs() - replay_t0;
+  hist_replay_ms_->Record(replay_ms);
+  env_->tracer().Record(obs::TraceEventType::kReplayEnd,
+                        env_->NowModelMs(), config_.id, s->id, /*seqno=*/0,
+                        "replayed=" + std::to_string(requests_replayed));
+  {
+    std::lock_guard<std::mutex> lk(timeline_mu_);
+    last_recovery_timeline_.session_replays.push_back(
+        {s->id, replay_ms, requests_replayed, rounds, from_crash, st.ok()});
   }
   // The client may still be waiting for the reply of the last request —
   // resend it (duplicate replies are discarded by receivers).
@@ -283,7 +347,7 @@ Status Msp::RecoverSessionReplay(Session* s) {
   return st;
 }
 
-Status Msp::ReplayOnce(Session* s) {
+Status Msp::ReplayOnce(Session* s, uint64_t* replayed_out) {
   // 1. Initialize from the most recent session checkpoint (§4.1).
   uint64_t cp_lsn = s->last_checkpoint_lsn.load();
   if (cp_lsn != 0) {
@@ -340,6 +404,7 @@ Status Msp::ReplayOnce(Session* s) {
     Bytes result;
     Status st = InvokeMethod(rec.target, &ctx, rec.payload, &result);
     env_->stats().requests_replayed.fetch_add(1);
+    if (replayed_out) ++*replayed_out;
     if (st.IsOrphan() || st.IsCrashed() || st.IsTimedOut()) return st;
 
     ReplyCode code = st.ok() ? ReplyCode::kOk : ReplyCode::kAppError;
@@ -371,6 +436,11 @@ void Msp::OrphanCut(Session* s, uint64_t orphan_lsn) {
   eos.prev_lsn = orphan_lsn;
   log_->Append(eos);
   s->positions.RemoveRange(orphan_lsn, UINT64_MAX);
+  env_->tracer().Record(obs::TraceEventType::kOrphanCut, env_->NowModelMs(),
+                        config_.id, s->id, /*seqno=*/0,
+                        "orphan_lsn=" + std::to_string(orphan_lsn));
+  std::lock_guard<std::mutex> lk(timeline_mu_);
+  ++last_recovery_timeline_.orphan_events;
 }
 
 }  // namespace msplog

@@ -75,7 +75,13 @@ class Session {
   std::map<std::string, OutgoingSessionState> outgoing;  ///< by target MSP
 
   // ---- scheduling state (guarded by the MSP's session-table mutex) ----
-  std::deque<Message> pending_requests;
+  /// A request plus the model time it entered the queue, so the worker can
+  /// attribute queue-wait separately from execute time.
+  struct QueuedRequest {
+    Message msg;
+    double enqueue_model_ms = 0;
+  };
+  std::deque<QueuedRequest> pending_requests;
   bool worker_active = false;
   bool recovering = false;
   bool needs_orphan_check = false;

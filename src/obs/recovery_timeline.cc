@@ -1,0 +1,43 @@
+#include "obs/recovery_timeline.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"  // JsonEscape
+
+namespace msplog {
+namespace obs {
+
+std::string RecoveryTimeline::ToJson() const {
+  char buf[320];
+  snprintf(buf, sizeof(buf),
+           "{\"epoch\":%u,\"started_ms\":%.6g,\"analysis_scan_ms\":%.6g,"
+           "\"analysis_records_scanned\":%llu,\"analysis_bytes_scanned\":%llu,"
+           "\"post_scan_checkpoint_ms\":%.6g,\"sessions_to_recover\":%llu,"
+           "\"max_parallel_replays\":%u,\"orphan_events\":%llu,"
+           "\"total_replay_ms\":%.6g,\"session_replays\":[",
+           epoch, started_model_ms, analysis_scan_ms,
+           static_cast<unsigned long long>(analysis_records_scanned),
+           static_cast<unsigned long long>(analysis_bytes_scanned),
+           post_scan_checkpoint_ms,
+           static_cast<unsigned long long>(sessions_to_recover),
+           max_parallel_replays, static_cast<unsigned long long>(orphan_events),
+           TotalReplayMs());
+  std::string out = buf;
+  bool first = true;
+  for (const auto& r : session_replays) {
+    if (!first) out += ",";
+    first = false;
+    snprintf(buf, sizeof(buf),
+             "\"replay_ms\":%.6g,\"requests_replayed\":%llu,\"rounds\":%u,"
+             "\"from_crash\":%s,\"converged\":%s}",
+             r.replay_ms, static_cast<unsigned long long>(r.requests_replayed),
+             r.rounds, r.from_crash ? "true" : "false",
+             r.converged ? "true" : "false");
+    out += "{\"session\":\"" + JsonEscape(r.session_id) + "\"," + buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace msplog

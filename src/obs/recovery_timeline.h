@@ -1,0 +1,50 @@
+// RecoveryTimeline — structured per-phase accounting of one crash recovery
+// (§4.3): the single-threaded analysis scan, the post-scan checkpoint, and
+// every session replay that follows (parallel after a crash, lazy when
+// orphan recovery fires at an interception point). Replaces the old
+// Msp::last_recovery_scan_ms_ scalar, which survives as a shim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msplog {
+namespace obs {
+
+struct RecoveryTimeline {
+  /// One completed replay of one session.
+  struct SessionReplay {
+    std::string session_id;
+    double replay_ms = 0;          ///< model ms from replay start to end
+    uint64_t requests_replayed = 0;
+    uint32_t rounds = 0;           ///< ReplayOnce passes (orphan re-runs > 1)
+    bool from_crash = false;       ///< true: §4.3 post-crash parallel replay;
+                                   ///< false: §4.1 lazy orphan recovery
+    bool converged = true;         ///< false: replay gave up with an error
+  };
+
+  uint32_t epoch = 0;              ///< epoch started by this recovery
+  double started_model_ms = 0;     ///< NowModelMs at recovery start
+  double analysis_scan_ms = 0;     ///< single-threaded log scan (§4.3)
+  uint64_t analysis_records_scanned = 0;
+  uint64_t analysis_bytes_scanned = 0;  ///< durable log extent scanned
+  double post_scan_checkpoint_ms = 0;   ///< fresh MSP checkpoint (Fig. 12)
+  uint64_t sessions_to_recover = 0;     ///< sessions queued for replay
+  std::vector<SessionReplay> session_replays;
+  uint32_t max_parallel_replays = 0;    ///< peak concurrent session replays
+  uint64_t orphan_events = 0;           ///< orphan detections attributed here
+
+  /// Sum of per-session replay model ms (parallel replays overlap, so this
+  /// can exceed wall model time).
+  double TotalReplayMs() const {
+    double t = 0;
+    for (const auto& r : session_replays) t += r.replay_ms;
+    return t;
+  }
+
+  std::string ToJson() const;
+};
+
+}  // namespace obs
+}  // namespace msplog

@@ -1,0 +1,197 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <thread>
+
+#include "obs/metrics.h"  // JsonEscape
+
+namespace msplog {
+namespace obs {
+
+const char* TraceEventTypeName(TraceEventType t) {
+  switch (t) {
+    case TraceEventType::kEnqueue: return "Enqueue";
+    case TraceEventType::kExecStart: return "ExecStart";
+    case TraceEventType::kExecEnd: return "ExecEnd";
+    case TraceEventType::kLocalFlushStart: return "LocalFlushStart";
+    case TraceEventType::kLocalFlushEnd: return "LocalFlushEnd";
+    case TraceEventType::kDistFlushStart: return "DistFlushStart";
+    case TraceEventType::kDistFlushEnd: return "DistFlushEnd";
+    case TraceEventType::kReplySent: return "ReplySent";
+    case TraceEventType::kCheckpointBegin: return "CheckpointBegin";
+    case TraceEventType::kCheckpointEnd: return "CheckpointEnd";
+    case TraceEventType::kRecoveryStart: return "RecoveryStart";
+    case TraceEventType::kAnalysisScanEnd: return "AnalysisScanEnd";
+    case TraceEventType::kRecoveryEnd: return "RecoveryEnd";
+    case TraceEventType::kReplayStart: return "ReplayStart";
+    case TraceEventType::kReplayEnd: return "ReplayEnd";
+    case TraceEventType::kOrphanDetected: return "OrphanDetected";
+    case TraceEventType::kOrphanCut: return "OrphanCut";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Chrome-tracing phase for an event: paired events become duration spans.
+/// Returns 'B', 'E' or 'i', and the span name shared by the B/E pair.
+char PhaseFor(TraceEventType t, const char** span_name) {
+  switch (t) {
+    case TraceEventType::kExecStart: *span_name = "exec"; return 'B';
+    case TraceEventType::kExecEnd: *span_name = "exec"; return 'E';
+    case TraceEventType::kLocalFlushStart: *span_name = "local_flush"; return 'B';
+    case TraceEventType::kLocalFlushEnd: *span_name = "local_flush"; return 'E';
+    case TraceEventType::kDistFlushStart: *span_name = "dist_flush"; return 'B';
+    case TraceEventType::kDistFlushEnd: *span_name = "dist_flush"; return 'E';
+    case TraceEventType::kCheckpointBegin: *span_name = "checkpoint"; return 'B';
+    case TraceEventType::kCheckpointEnd: *span_name = "checkpoint"; return 'E';
+    case TraceEventType::kRecoveryStart: *span_name = "crash_recovery"; return 'B';
+    case TraceEventType::kRecoveryEnd: *span_name = "crash_recovery"; return 'E';
+    case TraceEventType::kReplayStart: *span_name = "replay"; return 'B';
+    case TraceEventType::kReplayEnd: *span_name = "replay"; return 'E';
+    default: *span_name = TraceEventTypeName(t); return 'i';
+  }
+}
+
+}  // namespace
+
+EventTracer::EventTracer(size_t capacity, size_t stripes) {
+  if (stripes == 0) stripes = 1;
+  per_stripe_ = std::max<size_t>(1, capacity / stripes);
+  stripes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+    stripes_.back()->ring.reserve(per_stripe_);
+  }
+}
+
+void EventTracer::Record(TraceEventType type, double model_ms,
+                         std::string actor, std::string session,
+                         uint64_t seqno, std::string detail) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.type = type;
+  e.model_ms = model_ms;
+  e.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  e.seqno = seqno;
+  e.actor = std::move(actor);
+  e.session = std::move(session);
+  e.detail = std::move(detail);
+
+  size_t idx = std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+               stripes_.size();
+  Stripe& st = *stripes_[idx];
+  std::lock_guard<std::mutex> lk(st.mu);
+  st.total++;
+  if (st.ring.size() < per_stripe_) {
+    st.ring.push_back(std::move(e));
+  } else {
+    st.ring[st.next] = std::move(e);
+    st.next = (st.next + 1) % per_stripe_;
+  }
+}
+
+std::vector<TraceEvent> EventTracer::Events() const {
+  std::vector<TraceEvent> out;
+  for (const auto& sp : stripes_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    out.insert(out.end(), sp->ring.begin(), sp->ring.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+uint64_t EventTracer::dropped() const {
+  uint64_t d = 0;
+  for (const auto& sp : stripes_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    d += sp->total - sp->ring.size();
+  }
+  return d;
+}
+
+void EventTracer::Clear() {
+  for (const auto& sp : stripes_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    sp->ring.clear();
+    sp->next = 0;
+    sp->total = 0;
+  }
+}
+
+std::string EventTracer::DumpJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const TraceEvent& e : Events()) {
+    if (!first) out += ",";
+    first = false;
+    char buf[128];
+    snprintf(buf, sizeof(buf), "{\"type\":\"%s\",\"t_ms\":%.6f,\"seq\":%llu,",
+             TraceEventTypeName(e.type), e.model_ms,
+             static_cast<unsigned long long>(e.seq));
+    out += buf;
+    out += "\"actor\":\"" + JsonEscape(e.actor) + "\",";
+    out += "\"session\":\"" + JsonEscape(e.session) + "\",";
+    out += "\"seqno\":" + std::to_string(e.seqno) + ",";
+    out += "\"detail\":\"" + JsonEscape(e.detail) + "\"}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string EventTracer::DumpChromeTracing() const {
+  std::vector<TraceEvent> events = Events();
+  // chrome://tracing wants integer pid/tid: intern actors as processes and
+  // sessions as threads, and name them through metadata events.
+  std::map<std::string, int> pids;
+  std::map<std::pair<std::string, std::string>, int> tids;
+  for (const TraceEvent& e : events) {
+    pids.emplace(e.actor, static_cast<int>(pids.size()) + 1);
+    tids.emplace(std::make_pair(e.actor, e.session),
+                 static_cast<int>(tids.size()) + 1);
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    if (!first) out += ",";
+    first = false;
+    out += obj;
+  };
+  for (const auto& [actor, pid] : pids) {
+    emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":\"" +
+         JsonEscape(actor) + "\"}}");
+  }
+  for (const auto& [key, tid] : tids) {
+    emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+         std::to_string(pids[key.first]) + ",\"tid\":" + std::to_string(tid) +
+         ",\"args\":{\"name\":\"" +
+         JsonEscape(key.second.empty() ? "-" : key.second) + "\"}}");
+  }
+  for (const TraceEvent& e : events) {
+    const char* span = nullptr;
+    char ph = PhaseFor(e.type, &span);
+    char buf[160];
+    snprintf(buf, sizeof(buf),
+             "{\"ph\":\"%c\",\"name\":\"%s\",\"ts\":%.3f,\"pid\":%d,"
+             "\"tid\":%d",
+             ph, span, e.model_ms * 1000.0, pids[e.actor],
+             tids[{e.actor, e.session}]);
+    std::string obj = buf;
+    if (ph == 'i') obj += ",\"s\":\"t\"";
+    obj += ",\"args\":{\"seqno\":" + std::to_string(e.seqno) +
+           ",\"detail\":\"" + JsonEscape(e.detail) + "\"}}";
+    emit(obj);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace msplog

@@ -1,0 +1,99 @@
+// EventTracer — a bounded, lock-striped ring buffer of structured
+// request-lifecycle events.
+//
+// Every interesting transition on the request path (enqueue, execute, local
+// and distributed log flush, reply) and on the recovery path (analysis scan,
+// per-session replay, checkpoints, orphan cuts) records one event stamped
+// with model time, the acting component, the session and the request seqno.
+// The buffer is bounded (oldest events are overwritten), so tracing can stay
+// on during long benchmarks; recording is one short critical section on one
+// of N stripes, so concurrent sessions do not serialize on the tracer.
+//
+// Dump formats:
+//   * DumpJson()           — a JSON array of event objects, schema in
+//                            docs/OBSERVABILITY.md;
+//   * DumpChromeTracing()  — the chrome://tracing / Perfetto "traceEvents"
+//                            format: paired Start/End events become duration
+//                            spans (ph B/E), everything else instants.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace msplog {
+namespace obs {
+
+enum class TraceEventType : uint8_t {
+  kEnqueue,           ///< request queued for its session worker
+  kExecStart,         ///< service method invocation begins
+  kExecEnd,           ///< service method invocation returns
+  kLocalFlushStart,   ///< LogFile flush wait begins
+  kLocalFlushEnd,     ///< flushed (or failed)
+  kDistFlushStart,    ///< distributed flush (§3.1) begins
+  kDistFlushEnd,      ///< all legs settled
+  kReplySent,         ///< reply handed to the network
+  kCheckpointBegin,   ///< session / shared-var / MSP checkpoint begins
+  kCheckpointEnd,
+  kRecoveryStart,     ///< crash recovery begins (analysis scan)
+  kAnalysisScanEnd,   ///< single-threaded log scan done
+  kRecoveryEnd,       ///< crash recovery returns (replays may continue)
+  kReplayStart,       ///< one session's replay begins
+  kReplayEnd,
+  kOrphanDetected,    ///< an orphan dependency was proven
+  kOrphanCut,         ///< EOS written, positions truncated (§4.1)
+};
+
+const char* TraceEventTypeName(TraceEventType t);
+
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kEnqueue;
+  double model_ms = 0;   ///< SimEnvironment::NowModelMs at record time
+  uint64_t seq = 0;      ///< global record order (total order across threads)
+  uint64_t seqno = 0;    ///< request sequence number (0 = not applicable)
+  std::string actor;     ///< component id: MSP id, "<id>.log", client name
+  std::string session;   ///< session id ("" = not applicable)
+  std::string detail;    ///< free-form (variable name, peer, byte count, ...)
+};
+
+class EventTracer {
+ public:
+  explicit EventTracer(size_t capacity = 1 << 16, size_t stripes = 8);
+
+  void set_enabled(bool v) { enabled_.store(v, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(TraceEventType type, double model_ms, std::string actor,
+              std::string session = "", uint64_t seqno = 0,
+              std::string detail = "");
+
+  /// All retained events in global record order (by seq).
+  std::vector<TraceEvent> Events() const;
+
+  /// Number of events overwritten because the ring was full.
+  uint64_t dropped() const;
+
+  void Clear();
+
+  std::string DumpJson() const;
+  std::string DumpChromeTracing() const;
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;  ///< ring buffer, capacity per_stripe_
+    size_t next = 0;               ///< overwrite cursor once full
+    uint64_t total = 0;            ///< events ever recorded on this stripe
+  };
+
+  size_t per_stripe_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace obs
+}  // namespace msplog

@@ -18,6 +18,12 @@ int64_t RealWaitMs(const SimEnvironment* env, double model_ms) {
 ClientEndpoint::ClientEndpoint(SimEnvironment* env, SimNetwork* network,
                                std::string name, ClientOptions options)
     : env_(env), network_(network), name_(std::move(name)), options_(options) {
+  obs::MetricsRegistry& m = env_->metrics();
+  hist_call_ms_ = m.GetHistogram("client.call_ms");
+  ctr_calls_ = m.GetCounter("client.calls");
+  ctr_resends_ = m.GetCounter("client.resends");
+  ctr_busy_ = m.GetCounter("client.busy_replies");
+  ctr_timeouts_ = m.GetCounter("client.timeouts");
   mailbox_ = network_->Register(name_);
 }
 
@@ -46,6 +52,20 @@ Status ClientEndpoint::Call(ClientSession* session, const std::string& method,
   double t0 = env_->NowModelMs();
   Bytes wire = req.Encode();
 
+  // Single finish path: stats and registry metrics are recorded on every
+  // exit, including the give-up timeout (callers passing stats == nullptr
+  // still get the metrics).
+  auto finish = [&](Status st) {
+    local.response_model_ms = env_->NowModelMs() - t0;
+    ctr_calls_->Add(1);
+    if (local.sends > 1) ctr_resends_->Add(local.sends - 1);
+    if (local.busy_replies > 0) ctr_busy_->Add(local.busy_replies);
+    if (st.IsTimedOut()) ctr_timeouts_->Add(1);
+    hist_call_ms_->Record(local.response_model_ms);
+    if (stats) *stats = local;
+    return st;
+  };
+
   while (local.sends < options_.max_sends) {
     network_->Send(name_, session->msp, wire);
     ++local.sends;
@@ -61,7 +81,9 @@ Status ClientEndpoint::Call(ClientSession* session, const std::string& method,
                            deadline - now).count();
       Packet p;
       if (!mailbox_->PopWithTimeout(&p, std::max<int64_t>(1, remain))) {
-        if (mailbox_->closed()) return Status::Crashed("client endpoint closed");
+        if (mailbox_->closed()) {
+          return finish(Status::Crashed("client endpoint closed"));
+        }
         continue;
       }
       Message m;
@@ -79,18 +101,14 @@ Status ClientEndpoint::Call(ClientSession* session, const std::string& method,
       }
       session->next_seqno = seqno + 1;
       *reply = std::move(m.payload);
-      local.response_model_ms = env_->NowModelMs() - t0;
-      if (stats) *stats = local;
-      return m.reply_code == ReplyCode::kOk
-                 ? Status::OK()
-                 : Status::Aborted("application error: " + *reply);
+      return finish(m.reply_code == ReplyCode::kOk
+                        ? Status::OK()
+                        : Status::Aborted("application error: " + *reply));
     }
   resend:;
   }
-  local.response_model_ms = env_->NowModelMs() - t0;
-  if (stats) *stats = local;
-  return Status::TimedOut("no reply after " +
-                          std::to_string(local.sends) + " sends");
+  return finish(Status::TimedOut("no reply after " +
+                                 std::to_string(local.sends) + " sends"));
 }
 
 }  // namespace msplog

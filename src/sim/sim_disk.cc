@@ -6,7 +6,10 @@ namespace msplog {
 
 SimDisk::SimDisk(SimEnvironment* env, std::string name, DiskGeometry geometry,
                  uint64_t seed)
-    : env_(env), name_(std::move(name)), geometry_(geometry), rng_(seed) {}
+    : env_(env), name_(std::move(name)), geometry_(geometry), rng_(seed) {
+  hist_write_ms_ = env_->metrics().GetHistogram("disk.write_ms");
+  hist_read_ms_ = env_->metrics().GetHistogram("disk.read_ms");
+}
 
 void SimDisk::ChargeWrite(uint64_t bytes) {
   uint64_t sectors =
@@ -22,6 +25,7 @@ void SimDisk::ChargeWrite(uint64_t bytes) {
       ms += geometry_.write_avg_seek_ms;
     }
   }
+  hist_write_ms_->Record(ms);
   std::lock_guard<std::mutex> io(io_mu_);
   env_->SleepModelMs(ms);
 }
@@ -40,6 +44,7 @@ void SimDisk::ChargeRead(uint64_t bytes) {
       ms += geometry_.read_avg_seek_ms;
     }
   }
+  hist_read_ms_->Record(ms);
   std::lock_guard<std::mutex> io(io_mu_);
   env_->SleepModelMs(ms);
 }

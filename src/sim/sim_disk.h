@@ -116,6 +116,9 @@ class SimDisk {
   std::string name_;
   DiskGeometry geometry_;
   bool charge_latency_ = true;
+  /// Model I/O latency distributions ("disk.write_ms" / "disk.read_ms").
+  obs::Histogram* hist_write_ms_;
+  obs::Histogram* hist_read_ms_;
 
   mutable std::mutex state_mu_;  ///< guards files_
   std::mutex io_mu_;             ///< held across latency sleeps: one I/O at a time

@@ -21,6 +21,9 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace msplog {
 
 /// Global counters describing simulator activity. All fields are cumulative.
@@ -109,10 +112,21 @@ class SimEnvironment {
   SimStats& stats() { return stats_; }
   const SimStats& stats() const { return stats_; }
 
+  /// Named counters/gauges/histograms for everything in this environment.
+  /// Handles are stable; look them up once and record with relaxed atomics.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Request-lifecycle event tracer (bounded ring; on by default).
+  obs::EventTracer& tracer() { return tracer_; }
+  const obs::EventTracer& tracer() const { return tracer_; }
+
  private:
   double time_scale_;
   uint64_t start_ns_;
   SimStats stats_;
+  obs::MetricsRegistry metrics_;
+  obs::EventTracer tracer_;
 };
 
 }  // namespace msplog

@@ -49,6 +49,7 @@ size_t Mailbox::size() const {
 
 SimNetwork::SimNetwork(SimEnvironment* env, uint64_t seed)
     : env_(env), rng_(seed) {
+  hist_delivery_ms_ = env_->metrics().GetHistogram("net.delivery_ms");
   delivery_thread_ = std::thread([this] { DeliveryLoop(); });
 }
 
@@ -142,6 +143,7 @@ void SimNetwork::Send(const std::string& from, const std::string& to,
       delay_ms += rng_.NextDouble() * plan.reorder_jitter_ms;
     }
   }
+  hist_delivery_ms_->Record(delay_ms);
 
   Packet p{from, to, std::move(wire)};
   double scale = env_->time_scale();

@@ -119,6 +119,8 @@ class SimNetwork {
                              const std::string& to) const;
 
   SimEnvironment* env_;
+  /// Model one-way delay per delivered message ("net.delivery_ms").
+  obs::Histogram* hist_delivery_ms_;
   double default_one_way_ms_ = 0.0;
   double bandwidth_mbps_ = 100.0;
   FaultPlan default_faults_;

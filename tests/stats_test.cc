@@ -1,10 +1,17 @@
 // Instrumentation-integrity tests: the benchmarks interpret SimStats
-// counters, so the counters must track the underlying operations exactly on
-// controlled workloads.
+// counters, the obs histograms and the event tracer, so all three must track
+// the underlying operations exactly on controlled workloads.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
 
 #include "msp/msp.h"
 #include "msp/service_domain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpc/client_endpoint.h"
 #include "sim/sim_disk.h"
 #include "sim/sim_env.h"
@@ -141,6 +148,293 @@ TEST_F(StatsTest, WastedBytesBoundedByHalfSectorPerFlushOnAverage) {
   uint64_t wasted = after.disk_bytes_wasted - before.disk_bytes_wasted;
   ASSERT_GT(flushes, 0u);
   EXPECT_LT(wasted, flushes * 512);  // strictly less than a sector each
+}
+
+// ---------------------------------------------------------------------------
+// obs::Histogram correctness.
+
+TEST(HistogramTest, BucketBoundariesExact) {
+  using H = obs::Histogram;
+  // Below 32 µs: one bucket per microsecond, exact boundaries.
+  for (size_t u = 0; u < H::kSubBuckets; ++u) {
+    EXPECT_EQ(H::BucketIndex(static_cast<double>(u) * 1e-3), u);
+    EXPECT_DOUBLE_EQ(H::BucketLowerMs(u), static_cast<double>(u) * 1e-3);
+    EXPECT_DOUBLE_EQ(H::BucketUpperMs(u), static_cast<double>(u + 1) * 1e-3);
+  }
+  // First bucket of the log range: [32 µs, 33 µs).
+  EXPECT_EQ(H::BucketIndex(0.032), H::kSubBuckets);
+  EXPECT_DOUBLE_EQ(H::BucketLowerMs(H::kSubBuckets), 0.032);
+  EXPECT_DOUBLE_EQ(H::BucketUpperMs(H::kSubBuckets), 0.033);
+  // Every bucket's lower bound maps back to that bucket, and buckets tile the
+  // axis with no gaps or overlaps.
+  for (size_t i = 0; i < H::kNumBuckets; ++i) {
+    EXPECT_EQ(H::BucketIndex(H::BucketLowerMs(i)), i) << "bucket " << i;
+    if (i + 1 < H::kNumBuckets) {
+      EXPECT_DOUBLE_EQ(H::BucketUpperMs(i), H::BucketLowerMs(i + 1))
+          << "bucket " << i;
+    }
+  }
+  // Log-range buckets are at most 1/32 ≈ 3% of their lower bound wide — the
+  // advertised relative quantile error.
+  for (size_t i = H::kSubBuckets; i < H::kNumBuckets; ++i) {
+    double lo = H::BucketLowerMs(i), hi = H::BucketUpperMs(i);
+    EXPECT_LE((hi - lo) / lo, 1.0 / 32 + 1e-12) << "bucket " << i;
+  }
+  // Degenerate inputs clamp to bucket 0 / the top bucket.
+  EXPECT_EQ(H::BucketIndex(-1.0), 0u);
+  EXPECT_EQ(H::BucketIndex(0.0), 0u);
+  EXPECT_EQ(H::BucketIndex(1e18), H::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucketAndClampsToObserved) {
+  obs::Histogram h;
+  // One sample at 1 µs, one at 10 µs: q=0 and q=1 hit the bucket lower
+  // bounds exactly; q=0.5 interpolates halfway into the 1 µs bucket.
+  h.Record(0.001);
+  h.Record(0.010);
+  auto s = h.Snap();
+  ASSERT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 0.001);
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 0.010);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0015);
+  EXPECT_DOUBLE_EQ(s.min, 0.001);
+  EXPECT_DOUBLE_EQ(s.max, 0.010);
+
+  // All samples equal: interpolation would overshoot past the sample inside
+  // the bucket, but the estimate is clamped to the observed [min, max].
+  obs::Histogram h2;
+  for (int i = 0; i < 3; ++i) h2.Record(0.005);
+  auto s2 = h2.Snap();
+  EXPECT_DOUBLE_EQ(s2.Quantile(0.5), 0.005);
+  EXPECT_DOUBLE_EQ(s2.P99(), 0.005);
+
+  // Wide spread: quantiles stay within the ≤3% bucket-width error bound.
+  obs::Histogram h3;
+  for (int v = 1; v <= 100; ++v) h3.Record(static_cast<double>(v));
+  auto s3 = h3.Snap();
+  EXPECT_NEAR(s3.P50(), 50.5, 3.0);
+  EXPECT_NEAR(s3.P90(), 90.1, 4.0);
+  EXPECT_NEAR(s3.P99(), 99.0, 4.0);
+  EXPECT_LE(s3.P50(), s3.P90());
+  EXPECT_LE(s3.P90(), s3.P99());
+  EXPECT_LE(s3.P99(), s3.max);
+  EXPECT_DOUBLE_EQ(s3.Mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s3.min, 1.0);
+  EXPECT_DOUBLE_EQ(s3.max, 100.0);
+}
+
+TEST(HistogramTest, ConcurrentRecordingIsDeterministic) {
+  // N threads hammer one histogram with a fixed value multiset. The values
+  // are exact binary fractions, so sum must come out exact regardless of the
+  // interleaving, and the snapshot must equal a serially built reference.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 4000;
+  static const double kValues[] = {0.25, 0.5, 1.0, 2.0, 4.0, 0.25, 8.0, 0.5};
+  constexpr int kNumValues = 8;
+
+  obs::MetricsRegistry reg;
+  obs::Histogram* h = reg.GetHistogram("test.concurrent");
+  // Interned handles are stable: same name, same pointer, from any thread.
+  ASSERT_EQ(h, reg.GetHistogram("test.concurrent"));
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      obs::Histogram* hh = reg.GetHistogram("test.concurrent");
+      for (int i = 0; i < kPerThread; ++i) hh->Record(kValues[i % kNumValues]);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  obs::Histogram ref;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) ref.Record(kValues[i % kNumValues]);
+  }
+
+  auto got = h->Snap();
+  auto want = ref.Snap();
+  EXPECT_EQ(got.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_DOUBLE_EQ(got.sum, want.sum);
+  EXPECT_DOUBLE_EQ(got.min, 0.25);
+  EXPECT_DOUBLE_EQ(got.max, 8.0);
+  EXPECT_EQ(got.buckets, want.buckets);
+  EXPECT_DOUBLE_EQ(got.P50(), want.P50());
+  EXPECT_DOUBLE_EQ(got.P90(), want.P90());
+  EXPECT_DOUBLE_EQ(got.P99(), want.P99());
+}
+
+TEST(HistogramTest, SnapshotMergeAndDelta) {
+  obs::Histogram a, b;
+  for (int i = 0; i < 10; ++i) a.Record(1.0);
+  for (int i = 0; i < 10; ++i) b.Record(4.0);
+  auto sa = a.Snap();
+  auto before = sa;
+  sa.Merge(b.Snap());
+  EXPECT_EQ(sa.count, 20u);
+  EXPECT_DOUBLE_EQ(sa.min, 1.0);
+  EXPECT_DOUBLE_EQ(sa.max, 4.0);
+  EXPECT_DOUBLE_EQ(sa.sum, 50.0);
+
+  for (int i = 0; i < 5; ++i) a.Record(2.0);
+  auto delta = a.Snap().Delta(before);
+  EXPECT_EQ(delta.count, 5u);
+  EXPECT_DOUBLE_EQ(delta.sum, 10.0);
+  EXPECT_NEAR(delta.P50(), 2.0, 2.0 / 32);  // within one log bucket
+}
+
+// ---------------------------------------------------------------------------
+// EventTracer: the request lifecycle leaves an exact, ordered event chain.
+
+using obs::TraceEventType;
+
+std::vector<obs::TraceEvent> EventsForActors(const obs::EventTracer& tracer,
+                                             const std::string& a,
+                                             const std::string& b) {
+  std::vector<obs::TraceEvent> out;
+  for (const auto& e : tracer.Events()) {
+    if (e.actor == a || e.actor == b) out.push_back(e);
+  }
+  return out;  // Events() is already seq-ordered
+}
+
+TEST_F(StatsTest, TracerRecordsExactLifecycleForOneRequest) {
+  Build(/*same_domain=*/true);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  // Warm up: session creation and recovery-time events are not part of the
+  // steady-state per-request chain.
+  ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  env_.tracer().Clear();
+  ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+
+  // kReplySent is recorded just after the reply is handed to the network, so
+  // the client can return before the worker reaches the Record call.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::vector<obs::TraceEvent> got;
+  while (std::chrono::steady_clock::now() < deadline) {
+    got = EventsForActors(env_.tracer(), "alpha", "alpha.log");
+    if (!got.empty() && got.back().type == TraceEventType::kReplySent) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // The full chain on alpha for one intra-domain request with an end-client
+  // reply: enqueue → execute → distributed flush (one local log write) →
+  // reply. Nothing else may interleave on this actor.
+  const std::vector<TraceEventType> want = {
+      TraceEventType::kEnqueue,         TraceEventType::kExecStart,
+      TraceEventType::kExecEnd,         TraceEventType::kDistFlushStart,
+      TraceEventType::kLocalFlushStart, TraceEventType::kLocalFlushEnd,
+      TraceEventType::kDistFlushEnd,    TraceEventType::kReplySent,
+  };
+  ASSERT_EQ(got.size(), want.size()) << env_.tracer().DumpJson();
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].type, want[i])
+        << "event " << i << " is " << obs::TraceEventTypeName(got[i].type);
+  }
+  // Model time is non-decreasing along the chain and seq is strictly
+  // increasing (Events() sorts by seq).
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_GE(got[i].model_ms, got[i - 1].model_ms) << "event " << i;
+    EXPECT_GT(got[i].seq, got[i - 1].seq) << "event " << i;
+  }
+  // Request-scoped events carry the session id and the request seqno.
+  for (size_t i : {size_t{0}, size_t{1}, size_t{2}, size_t{7}}) {
+    EXPECT_EQ(got[i].session, session.session_id);
+    EXPECT_EQ(got[i].seqno, session.next_seqno - 1);
+  }
+  // The log-flush pair is attributed to alpha's log file.
+  EXPECT_EQ(got[4].actor, "alpha.log");
+  EXPECT_EQ(got[5].actor, "alpha.log");
+  EXPECT_EQ(env_.tracer().dropped(), 0u);
+
+  // Both dump formats carry the chain.
+  std::string json = env_.tracer().DumpJson();
+  EXPECT_NE(json.find("\"type\":\"Enqueue\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"ReplySent\""), std::string::npos);
+  std::string chrome = env_.tracer().DumpChromeTracing();
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"exec\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"dist_flush\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// RecoveryTimeline: one crash-recovery cycle fills every phase.
+
+TEST_F(StatsTest, RecoveryTimelineAccountsCrashRecoveryPhases) {
+  Build(/*same_domain=*/true);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  constexpr int kN = 4;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  }
+  alpha_->Crash();
+  env_.tracer().Clear();
+  ASSERT_TRUE(alpha_->Start().ok());
+
+  // Session replay runs on background workers after Start() returns.
+  obs::RecoveryTimeline tl;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    tl = alpha_->LastRecoveryTimeline();
+    if (!tl.session_replays.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  EXPECT_EQ(tl.epoch, alpha_->epoch());
+  EXPECT_GT(tl.analysis_scan_ms, 0.0);
+  EXPECT_GT(tl.analysis_records_scanned, 0u);
+  EXPECT_GT(tl.analysis_bytes_scanned, 0u);
+  EXPECT_GT(tl.post_scan_checkpoint_ms, 0.0);
+  EXPECT_EQ(tl.sessions_to_recover, 1u);
+  ASSERT_EQ(tl.session_replays.size(), 1u);
+  const auto& r = tl.session_replays[0];
+  EXPECT_EQ(r.session_id, session.session_id);
+  EXPECT_GT(r.replay_ms, 0.0);
+  EXPECT_EQ(r.requests_replayed, static_cast<uint64_t>(kN));
+  EXPECT_GE(r.rounds, 1u);
+  EXPECT_TRUE(r.from_crash);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(tl.max_parallel_replays, 1u);
+  EXPECT_DOUBLE_EQ(tl.TotalReplayMs(), r.replay_ms);
+  // The shim preserves the old scalar accessor.
+  EXPECT_DOUBLE_EQ(alpha_->last_recovery_scan_ms(), tl.analysis_scan_ms);
+  // ToJson carries the phases for the bench reports.
+  std::string json = tl.ToJson();
+  EXPECT_NE(json.find("\"analysis_scan_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"session_replays\""), std::string::npos);
+
+  // The tracer saw the same cycle: recovery start → analysis scan end →
+  // recovery end, then the session's replay start/end pair.
+  auto events = env_.tracer().Events();
+  auto find = [&](TraceEventType t) -> const obs::TraceEvent* {
+    for (const auto& e : events) {
+      if (e.type == t && (e.actor == "alpha")) return &e;
+    }
+    return nullptr;
+  };
+  const auto* rec_start = find(TraceEventType::kRecoveryStart);
+  const auto* scan_end = find(TraceEventType::kAnalysisScanEnd);
+  const auto* rec_end = find(TraceEventType::kRecoveryEnd);
+  const auto* replay_start = find(TraceEventType::kReplayStart);
+  const auto* replay_end = find(TraceEventType::kReplayEnd);
+  ASSERT_NE(rec_start, nullptr);
+  ASSERT_NE(scan_end, nullptr);
+  ASSERT_NE(rec_end, nullptr);
+  ASSERT_NE(replay_start, nullptr);
+  ASSERT_NE(replay_end, nullptr);
+  EXPECT_LT(rec_start->seq, scan_end->seq);
+  EXPECT_LT(scan_end->seq, rec_end->seq);
+  EXPECT_LT(scan_end->seq, replay_start->seq);
+  EXPECT_LT(replay_start->seq, replay_end->seq);
+  EXPECT_EQ(replay_start->session, session.session_id);
+  EXPECT_EQ(replay_start->detail, "crash");
+
+  // After replay completes the session serves requests again.
+  ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
 }
 
 }  // namespace
