@@ -22,7 +22,7 @@ HIST_KEYS = ["response", "queue_wait", "execute", "flush_wait"]
 
 
 def fail(msg):
-    print("check_bench_json: FAIL: %s" % msg)
+    print("check_bench_json: FAIL: %s" % msg, file=sys.stderr)
     sys.exit(1)
 
 
@@ -60,7 +60,11 @@ def main():
         except ValueError as e:
             fail("unparseable BENCH_JSON line (%s): %s" % (e, raw))
     if not blobs:
-        fail("no BENCH_JSON lines in output of: %s" % " ".join(cmd))
+        tail = "\n".join(out.stdout.splitlines()[-10:])
+        fail("no BENCH_JSON lines in output of: %s\n"
+             "The bench ran (exit 0) but emitted no machine-readable "
+             "results — its BENCH_JSON emitter is broken or was renamed.\n"
+             "Last stdout lines were:\n%s" % (" ".join(cmd), tail))
 
     for blob in blobs:
         for k in REQUIRED_TOP:

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Project-specific lint for the msplog tree (registered as a CTest).
+
+Checks enforced over src/ (stdlib only, no third-party deps):
+
+  pragma-once          every header starts its preprocessor life with
+                       `#pragma once`.
+  raw-sync             `std::mutex` / `std::shared_mutex` /
+                       `std::condition_variable` (and their includes) are
+                       banned outside src/audit — everything else must go
+                       through the audit::Mutex wrappers so the lock-order
+                       auditor sees every acquisition.
+  naked-new            no naked `new` / `delete`: ownership goes through
+                       make_unique/make_shared/containers. Intentional leaks
+                       (function-local singletons) carry an
+                       `audit:allow(naked-new)` comment.
+  nondeterminism       rand()/srand()/std::random_device/std::mt19937 are
+                       banned outside common/rng.h: all randomness flows
+                       through the seeded simulation RNG so runs replay
+                       deterministically.
+  blocking-under-lock  calls into the simulated disk/network (model-time
+                       sleeps) while a lock guard is live. src/sim itself is
+                       exempt (holding io_mu_ across the sleep IS the
+                       single-spindle latency model). Reviewed exceptions
+                       carry `audit:allow(blocking-under-lock)`.
+  include-hygiene      no `#include "../..."` — project includes are rooted
+                       at src/.
+
+Exit status: 0 clean, 1 findings (one `file:line: [check] message` per line).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+RAW_SYNC = re.compile(
+    r"std::(mutex|shared_mutex|condition_variable(_any)?|scoped_lock)\b")
+RAW_SYNC_INCLUDE = re.compile(
+    r'#\s*include\s*<(mutex|shared_mutex|condition_variable)>')
+NAKED_NEW = re.compile(r"(^|[^_\w.])new\s+[A-Za-z_]")
+NAKED_DELETE = re.compile(r"(^|[^_\w.])delete(\[\])?\s+[A-Za-z_*(]")
+NONDET = re.compile(
+    r"(^|[^_\w])(rand|srand)\s*\(|std::(random_device|mt19937)")
+PARENT_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
+
+GUARD_DECL = re.compile(
+    r"\b(?:audit::(?:LockGuard|UniqueLock|SharedLock|SharedUniqueLock)|"
+    r"std::(?:lock_guard|unique_lock|shared_lock|scoped_lock)<[^>]*>)\s+"
+    r"(\w+)\s*[({]")
+# Calls that advance model time (simulated I/O / messaging): blocking while a
+# lock is held serializes unrelated sessions behind one spindle seek.
+# Metadata-only queries (Exists, FileSize, Register) are free and excluded.
+BLOCKING_CALL = re.compile(
+    r"\b(?:disk_?->\s*(?:ReadAt|WriteAt|Append|Truncate|Delete|PunchHole|"
+    r"Barrier|Format)|(?:network_?|net_?)->\s*Send|log_->Flush\w*|"
+    r"positions\.Flush\w*)\s*\(")
+UNLOCK = re.compile(r"\b(\w+)\s*\.\s*unlock\s*\(")
+
+
+def strip_comments_strings(line, in_block):
+    """Replace comment/string contents with spaces, preserving columns.
+
+    Returns (code_line, still_in_block_comment)."""
+    out = []
+    i, n = 0, len(line)
+    state = "block" if in_block else "code"
+    quote = ""
+    while i < n:
+        c = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                out.append(" " * (n - i))
+                break
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = "str"
+                quote = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(" ")
+        else:  # string literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" " if c != quote else c)
+        i += 1
+    return "".join(out), state == "block"
+
+
+def lint_file(path, findings):
+    rel = path.relative_to(REPO).as_posix()
+    raw = path.read_text(errors="replace").splitlines()
+    in_audit = rel.startswith("src/audit/")
+    in_sim = rel.startswith("src/sim/")
+    is_header = path.suffix == ".h"
+
+    # Guard tracking: list of (name, brace_depth_at_declaration).
+    guards = []
+    depth = 0
+    in_block = False
+    saw_pragma_once = False
+    saw_preproc = False
+
+    for lineno, raw_line in enumerate(raw, 1):
+        # Waivers apply to their own line or the two lines that follow, so a
+        # comment line can cover a wrapped statement.
+        nearby = "\n".join(raw[max(0, lineno - 3):lineno])
+        allow = {m for m in re.findall(r"audit:allow\(([\w-]+)\)", nearby)}
+        line, in_block = strip_comments_strings(raw_line, in_block)
+
+        if is_header and not saw_pragma_once and not saw_preproc:
+            if re.match(r"\s*#\s*pragma\s+once", line):
+                saw_pragma_once = True
+            elif re.match(r"\s*#", line):
+                saw_preproc = True  # some other directive came first
+
+        if not in_audit:
+            if RAW_SYNC.search(line) or RAW_SYNC_INCLUDE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: [raw-sync] raw std sync primitive; "
+                    "use the audit::Mutex wrappers (src/audit/mutex.h)")
+
+        if "naked-new" not in allow:
+            if NAKED_NEW.search(line) or NAKED_DELETE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: [naked-new] naked new/delete; use "
+                    "make_unique/make_shared or audit:allow(naked-new)")
+
+        if rel != "src/common/rng.h" and NONDET.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [nondeterminism] unseeded randomness; "
+                "use the simulation RNG (common/rng.h)")
+
+        # Checked against the raw line: the include path lives inside a string
+        # literal, which strip_comments_strings blanks out.
+        if PARENT_INCLUDE.search(raw_line):
+            findings.append(
+                f"{rel}:{lineno}: [include-hygiene] parent-relative "
+                "include; include paths are rooted at src/")
+
+        # --- blocking-under-lock token scan ---------------------------------
+        if not in_sim:
+            for m in GUARD_DECL.finditer(line):
+                guards.append((m.group(1), depth))
+            for m in UNLOCK.finditer(line):
+                guards = [g for g in guards if g[0] != m.group(1)]
+            if guards and BLOCKING_CALL.search(line) \
+                    and "blocking-under-lock" not in allow:
+                held = ", ".join(g[0] for g in guards)
+                findings.append(
+                    f"{rel}:{lineno}: [blocking-under-lock] simulated I/O "
+                    f"call while holding lock guard(s): {held}")
+            opens = line.count("{")
+            closes = line.count("}")
+            # Apply closes first for `}` lines, then opens; good enough for
+            # the tree's one-statement-per-line style.
+            depth = max(0, depth - closes)
+            guards = [g for g in guards if g[1] <= depth]
+            depth += opens
+        else:
+            depth = max(0, depth - line.count("}")) + line.count("{")
+
+    if is_header and not saw_pragma_once:
+        findings.append(f"{rel}:1: [pragma-once] header missing #pragma once")
+
+
+def main():
+    findings = []
+    files = sorted(
+        p for p in SRC.rglob("*") if p.suffix in (".h", ".cc"))
+    if not files:
+        print("lint_msplog: no sources found under src/", file=sys.stderr)
+        return 1
+    for path in files:
+        lint_file(path, findings)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_msplog: {len(findings)} finding(s) in "
+              f"{len(files)} files", file=sys.stderr)
+        return 1
+    print(f"lint_msplog: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

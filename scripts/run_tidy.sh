@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Run clang-tidy over src/ with the repo's .clang-tidy profile.
+#
+# Usage: scripts/run_tidy.sh [build-dir]
+#
+# Needs a compile_commands.json; configures one into build-tidy/ if the given
+# build dir has none. Exits 0 with a SKIPPED notice when clang-tidy is not
+# installed (the default container ships only the compiler), so CI jobs and
+# local hooks can call it unconditionally.
+set -u
+
+cd "$(dirname "$0")/.."
+
+TIDY="$(command -v clang-tidy || true)"
+RUNNER="$(command -v run-clang-tidy || true)"
+if [[ -z "$TIDY" ]]; then
+  echo "run_tidy: SKIPPED (clang-tidy not installed)"
+  exit 0
+fi
+
+BUILD="${1:-build-tidy}"
+if [[ ! -f "$BUILD/compile_commands.json" ]]; then
+  cmake -B "$BUILD" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 1
+fi
+
+FILES=$(find src -name '*.cc' | sort)
+if [[ -n "$RUNNER" ]]; then
+  "$RUNNER" -p "$BUILD" -quiet $FILES
+else
+  "$TIDY" -p "$BUILD" --quiet $FILES
+fi
+status=$?
+if [[ $status -eq 0 ]]; then
+  echo "run_tidy: OK"
+fi
+exit $status

@@ -1,0 +1,160 @@
+#include "audit/invariants.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace msplog {
+namespace audit {
+
+namespace {
+constexpr size_t kMaxReports = 128;
+}  // namespace
+
+struct InvariantRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, uint64_t> violation_counts;
+  std::map<std::string, uint64_t> note_counts;
+  uint64_t total = 0;
+  std::vector<std::string> reports;
+  bool fatal = false;
+};
+
+InvariantRegistry::Impl& InvariantRegistry::impl() const {
+  static Impl* imp = new Impl;  // audit:allow(naked-new) — leaked: outlives statics
+  return *imp;
+}
+
+InvariantRegistry& InvariantRegistry::Instance() {
+  static InvariantRegistry* r = new InvariantRegistry;  // audit:allow(naked-new)
+  return *r;
+}
+
+void InvariantRegistry::Violation(const std::string& invariant,
+                                  const std::string& detail) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  ++im.violation_counts[invariant];
+  ++im.total;
+  std::string msg = "invariant '" + invariant + "' violated: " + detail;
+  if (im.reports.size() < kMaxReports) im.reports.push_back(msg);
+  std::fprintf(stderr, "[msplog audit] %s\n", msg.c_str());
+  if (im.fatal) std::abort();
+}
+
+void InvariantRegistry::Note(const std::string& invariant,
+                             const std::string& detail) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  ++im.note_counts[invariant];
+  (void)detail;
+}
+
+uint64_t InvariantRegistry::violations(const std::string& invariant) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  auto it = im.violation_counts.find(invariant);
+  return it == im.violation_counts.end() ? 0 : it->second;
+}
+
+uint64_t InvariantRegistry::total_violations() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  return im.total;
+}
+
+uint64_t InvariantRegistry::notes(const std::string& invariant) const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  auto it = im.note_counts.find(invariant);
+  return it == im.note_counts.end() ? 0 : it->second;
+}
+
+std::vector<std::string> InvariantRegistry::reports() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  return im.reports;
+}
+
+void InvariantRegistry::set_fatal(bool v) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  im.fatal = v;
+}
+
+void InvariantRegistry::ResetForTest() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  im.violation_counts.clear();
+  im.note_counts.clear();
+  im.total = 0;
+  im.reports.clear();
+}
+
+#if MSPLOG_AUDIT_ENABLED
+
+void CheckDvMonotonic(const std::string& who, const DependencyVector& before,
+                      const DependencyVector& after) {
+  for (const auto& [msp, id] : before.entries()) {
+    auto cur = after.Get(msp);
+    if (!cur || *cur < id) {
+      InvariantRegistry::Instance().Violation(
+          "dv-monotonic",
+          who + ": entry for " + msp + " regressed from " + id.ToString() +
+              " to " + (cur ? cur->ToString() : "<absent>"));
+    }
+  }
+}
+
+void CheckDvSelfMonotonic(const std::string& who, const MspId& self,
+                          const DependencyVector& dv, StateId next) {
+  auto cur = dv.Get(self);
+  if (cur && next < *cur) {
+    InvariantRegistry::Instance().Violation(
+        "dv-self-monotonic", who + ": self entry " + cur->ToString() +
+                                 " would regress to " + next.ToString());
+  }
+}
+
+void CheckWalBeforeSend(const std::string& who, const MspId& self,
+                        uint32_t epoch, const DependencyVector& dv,
+                        uint64_t durable_lsn) {
+  auto id = dv.Get(self);
+  if (id && id->epoch == epoch && id->sn >= durable_lsn) {
+    InvariantRegistry::Instance().Violation(
+        "wal-before-send",
+        who + ": pessimistic send with self state " + id->ToString() +
+            " but log durable only below " + std::to_string(durable_lsn));
+  }
+}
+
+void CheckLsnAdvance(const std::string& who, uint64_t prev_end, uint64_t lsn) {
+  if (lsn < prev_end) {
+    InvariantRegistry::Instance().Violation(
+        "log-scan-monotonic", who + ": record at LSN " + std::to_string(lsn) +
+                                  " after cursor already reached " +
+                                  std::to_string(prev_end));
+  }
+}
+
+void CheckRecoveredDominates(const std::string& who,
+                             const RecoveredStateTable& table,
+                             const MspId& self, uint32_t current_epoch,
+                             const DependencyVector& dv) {
+  auto id = dv.Get(self);
+  if (!id || id->epoch >= current_epoch) return;
+  auto rsn = table.RecoveredSn(self, id->epoch);
+  if (!rsn || *rsn < id->sn) {
+    InvariantRegistry::Instance().Violation(
+        "recovery-dominates",
+        who + ": replayed DV depends on own state " + id->ToString() +
+            " but epoch " + std::to_string(id->epoch) + " recovered only to " +
+            (rsn ? std::to_string(*rsn) : std::string("<unknown>")));
+  }
+}
+
+#endif  // MSPLOG_AUDIT_ENABLED
+
+}  // namespace audit
+}  // namespace msplog

@@ -1,0 +1,116 @@
+// Protocol invariant auditor — always-on runtime checks of the properties
+// the paper's correctness argument rests on (Theorems 4.2/4.3 of "Log-based
+// recovery for middleware servers", SIGMOD 2007):
+//
+//   dv-monotonic          A session's dependency vector only grows during
+//                         failure-free forward execution (§3.1: DVs are
+//                         merged by item-wise maximum; §3.2: per-session
+//                         DVs). A component going backwards outside of
+//                         orphan/crash recovery means dependencies were
+//                         silently dropped — exactly the bug class that
+//                         turns "exactly once" into "maybe".
+//   dv-self-monotonic     The owner's own (epoch, sn) entry never regresses
+//                         when a new record is appended: LSNs are strictly
+//                         monotonic in the log (§3.1 state numbers).
+//   wal-before-send       No message crosses a pessimistic boundary (to an
+//                         end client or another service domain) while the
+//                         state it depends on is not yet durable (§2.3,
+//                         Fig. 7: distributed flush BEFORE send).
+//   log-scan-monotonic    The analysis scan returns records at strictly
+//                         increasing LSNs and never returns a record whose
+//                         CRC did not verify (§4.3 single-threaded scan).
+//   recovery-dominates    After crash recovery, the RecoveredStateTable
+//                         dominates every replayed session DV: no session
+//                         survives recovery depending on a state number the
+//                         table proves lost (§4, Theorem 4.2).
+//
+// Violations are counted and reported through InvariantRegistry; by default
+// they print to stderr and execution continues (an auditor must not turn a
+// recoverable run into a crash), tests can set_fatal(true). The registry
+// also keeps non-violation "notes" (e.g. CRC-rejected frames seen by the
+// scanner) so tests can assert that a defense actually fired.
+//
+// With MSPLOG_AUDIT=OFF every checker is an inline no-op and the registry
+// still exists (cheap) so callers need no #ifdefs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recovery/dependency_vector.h"
+#include "recovery/recovered_state_table.h"
+#include "recovery/state_id.h"
+
+namespace msplog {
+namespace audit {
+
+class InvariantRegistry {
+ public:
+  static InvariantRegistry& Instance();
+
+  /// Record a violation of `invariant` (one of the names above).
+  void Violation(const std::string& invariant, const std::string& detail);
+  /// Record an expected defensive event (not a violation): e.g. the scanner
+  /// rejecting a corrupt frame.
+  void Note(const std::string& invariant, const std::string& detail);
+
+  uint64_t violations(const std::string& invariant) const;
+  uint64_t total_violations() const;
+  uint64_t notes(const std::string& invariant) const;
+  /// Human-readable violation reports, oldest first, capped.
+  std::vector<std::string> reports() const;
+  void set_fatal(bool v);
+  void ResetForTest();
+
+ private:
+  InvariantRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+#if MSPLOG_AUDIT_ENABLED
+
+/// `after` must dominate `before`: every entry of `before` exists in
+/// `after` with an equal or larger StateId.
+void CheckDvMonotonic(const std::string& who, const DependencyVector& before,
+                      const DependencyVector& after);
+
+/// Appending a record may only move the owner's self entry forward.
+void CheckDvSelfMonotonic(const std::string& who, const MspId& self,
+                          const DependencyVector& dv, StateId next);
+
+/// Pessimistic send: every current-epoch self entry of `dv` must already be
+/// durable (`sn < durable_lsn`, LSNs being frame-start offsets strictly
+/// below the durable extent).
+void CheckWalBeforeSend(const std::string& who, const MspId& self,
+                        uint32_t epoch, const DependencyVector& dv,
+                        uint64_t durable_lsn);
+
+/// The scan cursor only moves forward.
+void CheckLsnAdvance(const std::string& who, uint64_t prev_end, uint64_t lsn);
+
+/// Post-recovery: `table` must dominate `dv`'s self entries for every epoch
+/// that already ended (epoch < current_epoch).
+void CheckRecoveredDominates(const std::string& who,
+                             const RecoveredStateTable& table,
+                             const MspId& self, uint32_t current_epoch,
+                             const DependencyVector& dv);
+
+#else  // !MSPLOG_AUDIT_ENABLED
+
+inline void CheckDvMonotonic(const std::string&, const DependencyVector&,
+                             const DependencyVector&) {}
+inline void CheckDvSelfMonotonic(const std::string&, const MspId&,
+                                 const DependencyVector&, StateId) {}
+inline void CheckWalBeforeSend(const std::string&, const MspId&, uint32_t,
+                               const DependencyVector&, uint64_t) {}
+inline void CheckLsnAdvance(const std::string&, uint64_t, uint64_t) {}
+inline void CheckRecoveredDominates(const std::string&,
+                                    const RecoveredStateTable&, const MspId&,
+                                    uint32_t, const DependencyVector&) {}
+
+#endif  // MSPLOG_AUDIT_ENABLED
+
+}  // namespace audit
+}  // namespace msplog

@@ -1,0 +1,152 @@
+// audit::Mutex / audit::SharedMutex — drop-in lock wrappers that feed the
+// LockOrderRegistry (lock_order.h). These are THE lock types of this
+// codebase: scripts/lint_msplog.py rejects naked std::mutex /
+// std::shared_mutex / std::condition_variable anywhere outside src/audit.
+//
+// With MSPLOG_AUDIT=ON (the default) every acquisition is tracked: held-set
+// per thread, lock-order edge graph, cycle detection with an immediate
+// diagnostic. With MSPLOG_AUDIT=OFF the wrappers are inline forwarding
+// shells around std::mutex / std::shared_mutex — zero added state, zero
+// added calls — so release builds pay nothing.
+//
+// Naming a lock (`audit::Mutex mu_{"msp.sessions"}`) makes cycle reports
+// readable; the name defaults to "mutex"/"shared_mutex" otherwise.
+//
+// audit::CondVar is std::condition_variable_any so it can wait on the
+// wrappers directly; waits release and reacquire through the wrapper, which
+// keeps the per-thread held-set accurate across the wait.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "audit/lock_order.h"
+
+namespace msplog {
+namespace audit {
+
+#if MSPLOG_AUDIT_ENABLED
+
+class Mutex {
+ public:
+  explicit Mutex(const char* name = "mutex")
+      : id_(LockOrderRegistry::Instance().Register(name)) {}
+  ~Mutex() { LockOrderRegistry::Instance().Unregister(id_); }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() {
+    LockOrderRegistry::Instance().OnAcquire(id_);
+    mu_.lock();
+    LockOrderRegistry::Instance().OnAcquired(id_);
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    // try_lock cannot deadlock, so no edge is recorded; the held-set entry
+    // still matters for edges of later blocking acquisitions.
+    LockOrderRegistry::Instance().OnAcquired(id_);
+    return true;
+  }
+  void unlock() {
+    LockOrderRegistry::Instance().OnRelease(id_);
+    mu_.unlock();
+  }
+
+  LockId audit_id() const { return id_; }
+
+ private:
+  std::mutex mu_;
+  LockId id_;
+};
+
+class SharedMutex {
+ public:
+  explicit SharedMutex(const char* name = "shared_mutex")
+      : id_(LockOrderRegistry::Instance().Register(name)) {}
+  ~SharedMutex() { LockOrderRegistry::Instance().Unregister(id_); }
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() {
+    LockOrderRegistry::Instance().OnAcquire(id_);
+    mu_.lock();
+    LockOrderRegistry::Instance().OnAcquired(id_);
+  }
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    LockOrderRegistry::Instance().OnAcquired(id_);
+    return true;
+  }
+  void unlock() {
+    LockOrderRegistry::Instance().OnRelease(id_);
+    mu_.unlock();
+  }
+
+  // Shared acquisitions participate in ordering exactly like exclusive
+  // ones: reader/writer cycles deadlock just the same.
+  void lock_shared() {
+    LockOrderRegistry::Instance().OnAcquire(id_);
+    mu_.lock_shared();
+    LockOrderRegistry::Instance().OnAcquired(id_);
+  }
+  bool try_lock_shared() {
+    if (!mu_.try_lock_shared()) return false;
+    LockOrderRegistry::Instance().OnAcquired(id_);
+    return true;
+  }
+  void unlock_shared() {
+    LockOrderRegistry::Instance().OnRelease(id_);
+    mu_.unlock_shared();
+  }
+
+  LockId audit_id() const { return id_; }
+
+ private:
+  std::shared_mutex mu_;
+  LockId id_;
+};
+
+#else  // !MSPLOG_AUDIT_ENABLED
+
+class Mutex {
+ public:
+  explicit Mutex(const char* /*name*/ = nullptr) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+class SharedMutex {
+ public:
+  explicit SharedMutex(const char* /*name*/ = nullptr) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+  void lock_shared() { mu_.lock_shared(); }
+  bool try_lock_shared() { return mu_.try_lock_shared(); }
+  void unlock_shared() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+#endif  // MSPLOG_AUDIT_ENABLED
+
+using LockGuard = std::lock_guard<Mutex>;
+using UniqueLock = std::unique_lock<Mutex>;
+using SharedLock = std::shared_lock<SharedMutex>;
+using SharedUniqueLock = std::unique_lock<SharedMutex>;
+using CondVar = std::condition_variable_any;
+
+}  // namespace audit
+}  // namespace msplog

@@ -1,3 +1,4 @@
+#include "audit/mutex.h"
 #include "baseline/state_server.h"
 
 #include "common/serde.h"
@@ -23,12 +24,12 @@ void StateServerNode::Crash() {
   running_ = false;
   network_->Unregister(name_);
   if (thread_.joinable()) thread_.join();
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   store_.clear();  // in-memory only: a crash loses everything
 }
 
 size_t StateServerNode::StoredSessions() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   return store_.size();
 }
 
@@ -45,7 +46,7 @@ void StateServerNode::Loop() {
     r.seqno = m.seqno;
     r.reply_code = ReplyCode::kOk;
     if (m.method == "__ss_get") {
-      std::lock_guard<std::mutex> lk(mu_);
+      audit::LockGuard lk(mu_);
       auto it = store_.find(m.payload);
       if (it == store_.end()) {
         r.payload.push_back('\0');
@@ -57,7 +58,7 @@ void StateServerNode::Loop() {
       BinaryReader br(m.payload);
       Bytes key, blob;
       if (br.GetBytes(&key).ok() && br.GetBytes(&blob).ok()) {
-        std::lock_guard<std::mutex> lk(mu_);
+        audit::LockGuard lk(mu_);
         store_[key] = std::move(blob);
       } else {
         r.reply_code = ReplyCode::kAppError;

@@ -14,10 +14,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "audit/mutex.h"
 #include "common/bytes.h"
 #include "common/status.h"
 #include "rpc/message.h"
@@ -48,7 +48,7 @@ class StateServerNode {
   std::thread thread_;
   bool running_ = false;
 
-  mutable std::mutex mu_;
+  mutable audit::Mutex mu_{"state_server"};
   std::map<std::string, Bytes> store_;
 };
 

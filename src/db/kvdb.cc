@@ -1,3 +1,4 @@
+#include "audit/mutex.h"
 #include "db/kvdb.h"
 
 #include "common/crc32c.h"
@@ -33,11 +34,14 @@ Status KvDb::AppendWal(uint8_t op, const std::string& key, ByteView value) {
 }
 
 Status KvDb::Recover() {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   table_.clear();
   if (disk_->Exists(wal_file_)) {
     Bytes raw;
     MSPLOG_RETURN_IF_ERROR(
+        // Recovery holds the table lock across the WAL read on purpose:
+        // the DB must not serve requests from a half-rebuilt table.
+        // audit:allow(blocking-under-lock)
         disk_->ReadAt(wal_file_, 0, disk_->FileSize(wal_file_), &raw));
     size_t pos = 0;
     while (pos + 8 <= raw.size()) {
@@ -75,7 +79,7 @@ Status KvDb::TxnGet(const std::string& key, Bytes* value) {
     // one-sector write that makes read transactions as costly as commits.
     MSPLOG_RETURN_IF_ERROR(disk_->WriteAt(lock_file_, 0, Bytes(16, 'L')));
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   auto it = table_.find(key);
   if (it == table_.end()) return Status::NotFound("key: " + key);
   *value = it->second;
@@ -84,20 +88,20 @@ Status KvDb::TxnGet(const std::string& key, Bytes* value) {
 
 Status KvDb::TxnPut(const std::string& key, ByteView value) {
   MSPLOG_RETURN_IF_ERROR(AppendWal(kOpPut, key, value));
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   table_[key] = Bytes(value);
   return Status::OK();
 }
 
 Status KvDb::TxnDelete(const std::string& key) {
   MSPLOG_RETURN_IF_ERROR(AppendWal(kOpDelete, key, ""));
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   table_.erase(key);
   return Status::OK();
 }
 
 size_t KvDb::KeyCount() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   return table_.size();
 }
 

@@ -15,9 +15,9 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "audit/mutex.h"
 #include "common/bytes.h"
 #include "common/status.h"
 #include "sim/sim_disk.h"
@@ -60,7 +60,7 @@ class KvDb {
   std::string lock_file_;
   KvDbOptions options_;
 
-  mutable std::mutex mu_;
+  mutable audit::Mutex mu_{"kvdb"};
   std::map<std::string, Bytes> table_;
   bool recovered_ = false;
 };

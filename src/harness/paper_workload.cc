@@ -1,3 +1,4 @@
+#include "audit/mutex.h"
 #include "harness/paper_workload.h"
 
 #include <algorithm>
@@ -195,16 +196,16 @@ void PaperWorkload::ArmCrash() { crash_armed_.store(true); }
 
 void PaperWorkload::TriggerCrashAsync() {
   crashes_injected_.fetch_add(1);
-  std::lock_guard<std::mutex> lk(crash_threads_mu_);
+  audit::LockGuard lk(crash_threads_mu_);
   crash_threads_.emplace_back([this] {
-    std::lock_guard<std::mutex> cycle(crash_cycle_mu_);
+    audit::LockGuard cycle(crash_cycle_mu_);
     msp2_->Crash();
     (void)msp2_->Start();  // restart runs crash recovery (§4.3)
   });
 }
 
 void PaperWorkload::JoinCrashThreads() {
-  std::lock_guard<std::mutex> lk(crash_threads_mu_);
+  audit::LockGuard lk(crash_threads_mu_);
   for (auto& t : crash_threads_) {
     if (t.joinable()) t.join();
   }

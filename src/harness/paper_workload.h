@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "audit/mutex.h"
 #include "baseline/state_server.h"
 #include "msp/msp.h"
 #include "msp/service_domain.h"
@@ -157,10 +158,10 @@ class PaperWorkload {
 
   std::atomic<bool> crash_armed_{false};
   std::atomic<uint64_t> crashes_injected_{0};
-  std::mutex crash_threads_mu_;
+  audit::Mutex crash_threads_mu_{"workload.crash_threads"};
   std::vector<std::thread> crash_threads_;
   /// Serializes injected crash/restart cycles of MSP2.
-  std::mutex crash_cycle_mu_;
+  audit::Mutex crash_cycle_mu_{"workload.crash_cycle"};
   std::atomic<int> next_client_ = 1;
 };
 

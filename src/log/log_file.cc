@@ -1,3 +1,4 @@
+#include "audit/mutex.h"
 #include "log/log_file.h"
 
 #include <algorithm>
@@ -84,7 +85,7 @@ LogFile::~LogFile() { Stop(); }
 
 void LogFile::Stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    audit::LockGuard lk(mu_);
     if (stop_) return;
     stop_ = true;
     cv_.notify_all();
@@ -95,7 +96,7 @@ void LogFile::Stop() {
 uint64_t LogFile::Append(const LogRecord& rec, size_t* framed_size) {
   Bytes frame = FrameRecord(rec.Encode());
   if (framed_size) *framed_size = frame.size();
-  std::unique_lock<std::mutex> lk(mu_);
+  audit::UniqueLock lk(mu_);
   uint64_t lsn = buffer_base_ + buffer_.size();
   buffer_.append(frame);
   env_->stats().log_records_appended.fetch_add(1);
@@ -112,7 +113,7 @@ uint64_t LogFile::Append(const LogRecord& rec, size_t* framed_size) {
   return lsn;
 }
 
-Status LogFile::DoFlushLocked(std::unique_lock<std::mutex>& lk) {
+Status LogFile::DoFlushLocked(audit::UniqueLock& lk) {
   assert(!flush_in_progress_);
   if (crashed_) return Status::Crashed("log crashed");
   if (buffer_.empty()) return Status::OK();
@@ -170,7 +171,7 @@ Status LogFile::FlushUpTo(uint64_t lsn) {
 }
 
 Status LogFile::FlushUpToImpl(uint64_t lsn) {
-  std::unique_lock<std::mutex> lk(mu_);
+  audit::UniqueLock lk(mu_);
   if (lsn >= buffer_base_ + buffer_.size()) {
     return Status::InvalidArgument("flush target beyond log end");
   }
@@ -221,7 +222,7 @@ Status LogFile::FlushUpToImpl(uint64_t lsn) {
 Status LogFile::FlushAll() {
   uint64_t end;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    audit::LockGuard lk(mu_);
     end = buffer_base_ + buffer_.size();
     if (end == durable_end_) return crashed_ ? Status::Crashed("") : Status::OK();
   }
@@ -231,7 +232,7 @@ Status LogFile::FlushAll() {
 Status LogFile::ReadRecordAt(uint64_t lsn, LogRecord* out) {
   Bytes frame_bytes;
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    audit::UniqueLock lk(mu_);
     if (lsn >= buffer_base_) {
       if (lsn >= buffer_base_ + buffer_.size()) {
         return Status::InvalidArgument("LSN beyond log end");
@@ -280,17 +281,17 @@ Status LogFile::ReadRecordAt(uint64_t lsn, LogRecord* out) {
 }
 
 uint64_t LogFile::durable_lsn() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   return durable_end_;
 }
 
 uint64_t LogFile::end_lsn() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   return buffer_base_ + buffer_.size();
 }
 
 uint64_t LogFile::ReclaimUpTo(uint64_t lsn) {
-  std::unique_lock<std::mutex> lk(mu_);
+  audit::UniqueLock lk(mu_);
   uint64_t target = std::min(lsn, durable_end_);
   target = target / sector_bytes_ * sector_bytes_;  // sector floor
   if (target <= reclaimed_end_) return 0;
@@ -302,19 +303,19 @@ uint64_t LogFile::ReclaimUpTo(uint64_t lsn) {
 }
 
 uint64_t LogFile::reclaimed_lsn() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   return reclaimed_end_;
 }
 
 void LogFile::Crash() {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   crashed_ = true;
   buffer_.clear();
   cv_.notify_all();
 }
 
 void LogFile::BatchFlusherLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  audit::UniqueLock lk(mu_);
   while (!stop_) {
     cv_.wait(lk, [&] { return stop_ || flush_requested_; });
     if (stop_) break;

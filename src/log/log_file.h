@@ -17,13 +17,12 @@
 // ride a single physical write.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "audit/mutex.h"
 #include "common/bytes.h"
 #include "common/status.h"
 #include "log/log_record.h"
@@ -97,7 +96,7 @@ class LogFile {
 
  private:
   Status FlushUpToImpl(uint64_t lsn);
-  Status DoFlushLocked(std::unique_lock<std::mutex>& lk);
+  Status DoFlushLocked(audit::UniqueLock& lk);
   void BatchFlusherLoop();
 
   SimEnvironment* env_;
@@ -113,8 +112,8 @@ class LogFile {
   obs::Histogram* hist_flush_batch_bytes_; ///< "log.flush_batch_bytes"
   obs::Counter* ctr_physical_flushes_;     ///< "log.physical_flushes"
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable audit::Mutex mu_{"log_file"};
+  audit::CondVar cv_;
   Bytes buffer_;            ///< not yet handed to a flush
   uint64_t buffer_base_;    ///< LSN of buffer_[0]
   Bytes pending_;           ///< handed to an in-flight flush

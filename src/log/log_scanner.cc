@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/invariants.h"
 #include "common/crc32c.h"
 #include "log/log_file.h"
 
@@ -63,14 +64,28 @@ Status LogScanner::Next(LogRecord* out) {
           continue;
         }
       }
-      if (!st.ok()) return st;
+      if (!st.ok()) {
+        if (st.IsCorruption()) {
+          audit::InvariantRegistry::Instance().Note(
+              "log.crc-reject", file_ + " @" + std::to_string(pos_) + ": " +
+                                    st.ToString());
+        }
+        return st;
+      }
     } else if (!st.ok()) {
+      if (st.IsCorruption()) {
+        audit::InvariantRegistry::Instance().Note(
+            "log.crc-reject",
+            file_ + " @" + std::to_string(pos_) + ": " + st.ToString());
+      }
       return st;
     }
     uint64_t lsn = pos_;
     MSPLOG_RETURN_IF_ERROR(LogRecord::Decode(body, out));
     out->lsn = lsn;
+    audit::CheckLsnAdvance("scan " + file_, last_returned_end_, lsn);
     pos_ += frame_len;
+    last_returned_end_ = pos_;
     return Status::OK();
   }
 }

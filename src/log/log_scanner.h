@@ -43,6 +43,9 @@ class LogScanner {
   uint32_t sector_bytes_;
   Bytes chunk_;
   uint64_t chunk_base_ = 0;
+  /// End offset of the last frame Next() returned; the auditor checks the
+  /// scan never yields a record below it (log-scan-monotonic).
+  uint64_t last_returned_end_ = 0;
 };
 
 }  // namespace msplog

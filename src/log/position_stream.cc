@@ -1,3 +1,4 @@
+#include "audit/mutex.h"
 #include "log/position_stream.h"
 
 #include <algorithm>
@@ -11,7 +12,7 @@ PositionStream::PositionStream(SimDisk* disk, std::string file,
     : disk_(disk), file_(std::move(file)), buffer_capacity_(buffer_capacity) {}
 
 void PositionStream::Add(uint64_t lsn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   positions_.push_back(lsn);
   if (positions_.size() - persisted_count_ >= buffer_capacity_) {
     FlushBufferLocked();
@@ -29,24 +30,25 @@ void PositionStream::FlushBufferLocked() {
 }
 
 std::vector<uint64_t> PositionStream::All() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   return positions_;
 }
 
 size_t PositionStream::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   return positions_.size();
 }
 
 void PositionStream::Truncate() {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   positions_.clear();
   persisted_count_ = 0;
+  // audit:allow(blocking-under-lock): memory and file must change together.
   disk_->Truncate(file_, 0);
 }
 
 void PositionStream::RemoveRange(uint64_t from_lsn, uint64_t to_lsn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   positions_.erase(std::remove_if(positions_.begin(), positions_.end(),
                                   [&](uint64_t p) {
                                     return p >= from_lsn && p <= to_lsn;
@@ -54,22 +56,25 @@ void PositionStream::RemoveRange(uint64_t from_lsn, uint64_t to_lsn) {
                    positions_.end());
   // Rewrite the persisted prefix so skipped records stay invisible even if
   // the file is consulted later. Rare operation (orphan recovery end).
+  // audit:allow(blocking-under-lock): memory and file must change together.
   disk_->Truncate(file_, 0);
   persisted_count_ = 0;
   FlushBufferLocked();
 }
 
 void PositionStream::ReplaceAll(std::vector<uint64_t> positions) {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   positions_ = std::move(positions);
+  // audit:allow(blocking-under-lock): memory and file must change together.
   disk_->Truncate(file_, 0);
   persisted_count_ = 0;  // re-persisted lazily as the buffer refills
 }
 
 void PositionStream::Discard() {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   positions_.clear();
   persisted_count_ = 0;
+  // audit:allow(blocking-under-lock): memory and file must change together.
   disk_->Delete(file_);
 }
 

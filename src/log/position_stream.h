@@ -10,10 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "audit/mutex.h"
 #include "common/status.h"
 #include "sim/sim_disk.h"
 
@@ -57,7 +57,7 @@ class PositionStream {
   std::string file_;
   size_t buffer_capacity_;
 
-  mutable std::mutex mu_;
+  mutable audit::Mutex mu_{"position_stream"};
   std::vector<uint64_t> positions_;  ///< full stream
   size_t persisted_count_ = 0;       ///< prefix of positions_ already on disk
 };

@@ -1,9 +1,12 @@
+#include "audit/mutex.h"
 #include "msp/msp.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <thread>
 
+#include "audit/invariants.h"
 #include "msp/exec_context.h"
 
 namespace msplog {
@@ -40,14 +43,14 @@ void Msp::RegisterMethod(const std::string& name, ServiceMethod fn) {
 }
 
 void Msp::RegisterSharedVariable(const std::string& name, Bytes initial) {
-  std::lock_guard<std::mutex> lk(vars_mu_);
+  audit::LockGuard lk(vars_mu_);
   shared_vars_[name] = std::make_shared<SharedVariable>(name, std::move(initial));
 }
 
 void Msp::ChargeCpu(double model_ms) {
   if (model_ms <= 0) return;
   if (config_.single_core_cpu) {
-    std::lock_guard<std::mutex> lk(cpu_mu_);
+    audit::LockGuard lk(cpu_mu_);
     env_->SleepModelMs(model_ms);
   } else {
     env_->SleepModelMs(model_ms);
@@ -59,13 +62,13 @@ bool Msp::IntraDomain(const std::string& other) const {
 }
 
 int64_t Msp::RealWaitMs(double model_ms) const {
-  if (env_->time_scale() <= 0.0) return 2;
+  if (env_->time_scale() <= 0.0) return SimEnvironment::kFastWaitFloorMs;
   return std::max<int64_t>(
       1, static_cast<int64_t>(model_ms * env_->time_scale()));
 }
 
 std::shared_ptr<Session> Msp::GetSession(const std::string& id) const {
-  std::lock_guard<std::mutex> lk(sessions_mu_);
+  audit::LockGuard lk(sessions_mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -75,7 +78,7 @@ std::shared_ptr<Session> Msp::GetSession(const std::string& id) const {
 // ---------------------------------------------------------------------------
 
 Status Msp::Start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  audit::LockGuard lifecycle(lifecycle_mu_);
   State st = state_.load();
   if (st == State::kRunning || st == State::kRecovering) {
     return Status::InvalidArgument("MSP already running");
@@ -91,19 +94,19 @@ Status Msp::Start() {
   pool_ = std::make_unique<ThreadPool>(config_.thread_pool_size);
   control_pool_ = std::make_unique<ThreadPool>(2);
   {
-    std::lock_guard<std::mutex> lk(sessions_mu_);
+    audit::LockGuard lk(sessions_mu_);
     sessions_.clear();
   }
   {
-    std::lock_guard<std::mutex> lk(table_mu_);
+    audit::LockGuard lk(table_mu_);
     recovered_table_.Clear();
   }
   {
-    std::lock_guard<std::mutex> lk(watermark_mu_);
+    audit::LockGuard lk(watermark_mu_);
     flushed_watermark_.clear();
   }
   {
-    std::lock_guard<std::mutex> lk(cp_mu_);
+    audit::LockGuard lk(cp_mu_);
     cp_stop_ = false;
   }
   last_msp_cp_log_end_ = 0;
@@ -122,7 +125,7 @@ Status Msp::Start() {
     // scan, which is harmless.
     state_.store(State::kRecovering);
     MSPLOG_RETURN_IF_ERROR(CrashRecovery());
-    std::lock_guard<std::mutex> lk(sessions_mu_);
+    audit::LockGuard lk(sessions_mu_);
     for (auto& [id, s] : sessions_) {
       if (s->recovering) to_recover.push_back(s);
     }
@@ -153,7 +156,7 @@ Status Msp::Start() {
 }
 
 void Msp::Crash() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  audit::LockGuard lifecycle(lifecycle_mu_);
   CrashLocked();
 }
 
@@ -164,23 +167,23 @@ void Msp::CrashLocked() {
   network_->Unregister(config_.id);
   if (log_) log_->Crash();
   {
-    std::lock_guard<std::mutex> lk(calls_mu_);
+    audit::LockGuard lk(calls_mu_);
     for (auto& [key, pc] : pending_calls_) {
-      std::lock_guard<std::mutex> plk(pc->mu);
+      audit::LockGuard plk(pc->mu);
       pc->failed = true;
       pc->cv.notify_all();
     }
   }
   {
-    std::lock_guard<std::mutex> lk(flush_mu_);
+    audit::LockGuard lk(flush_mu_);
     for (auto& [key, pf] : pending_flushes_) {
-      std::lock_guard<std::mutex> plk(pf->mu);
+      audit::LockGuard plk(pf->mu);
       pf->failed = true;
       pf->cv.notify_all();
     }
   }
   {
-    std::lock_guard<std::mutex> lk(cp_mu_);
+    audit::LockGuard lk(cp_mu_);
     cp_stop_ = true;
   }
   cp_cv_.notify_all();
@@ -195,13 +198,13 @@ void Msp::CrashLocked() {
   // survives for the next Start().
   log_.reset();
   {
-    std::lock_guard<std::mutex> lk(sessions_mu_);
+    audit::LockGuard lk(sessions_mu_);
     sessions_.clear();
   }
   {
-    std::lock_guard<std::mutex> lk(vars_mu_);
+    audit::LockGuard lk(vars_mu_);
     for (auto& [name, v] : shared_vars_) {
-      std::unique_lock<std::shared_mutex> vlk(v->rw);
+      audit::SharedUniqueLock vlk(v->rw);
       v->value = v->initial_value;
       v->dv.Clear();
       v->state_number = 0;
@@ -212,11 +215,11 @@ void Msp::CrashLocked() {
     }
   }
   {
-    std::lock_guard<std::mutex> lk(calls_mu_);
+    audit::LockGuard lk(calls_mu_);
     pending_calls_.clear();
   }
   {
-    std::lock_guard<std::mutex> lk(flush_mu_);
+    audit::LockGuard lk(flush_mu_);
     pending_flushes_.clear();
   }
   psession_db_.reset();
@@ -225,10 +228,11 @@ void Msp::CrashLocked() {
 }
 
 void Msp::Shutdown() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  audit::LockGuard lifecycle(lifecycle_mu_);
   if (state_.load() != State::kRunning) return;
   // Make everything durable, then tear down like a crash: a subsequent
   // Start() recovers the complete state from the log.
+  // audit:allow(blocking-under-lock): lifecycle transitions serialize here.
   if (log_) log_->FlushAll();
   CrashLocked();
   state_.store(State::kStopped);
@@ -285,8 +289,9 @@ void Msp::HandleRequestMsg(Message m) {
   std::shared_ptr<Session> s;
   bool arm = false;
   bool busy = false;
+  bool ended = false;
   {
-    std::lock_guard<std::mutex> lk(sessions_mu_);
+    audit::LockGuard lk(sessions_mu_);
     auto it = sessions_.find(m.session_id);
     if (it == sessions_.end()) {
       s = std::make_shared<Session>(m.session_id, m.sender, disk_,
@@ -296,19 +301,8 @@ void Msp::HandleRequestMsg(Message m) {
       s = it->second;
     }
     if (s->ended) {
-      // A request to an ended session gets a definitive error rather than
-      // silence — the client should not retry forever.
-      Message r;
-      r.type = MessageType::kReply;
-      r.sender = config_.id;
-      r.session_id = m.session_id;
-      r.seqno = m.seqno;
-      r.reply_code = ReplyCode::kAppError;
-      r.payload = "session ended";
-      network_->Send(config_.id, m.sender, r.Encode());
-      return;
-    }
-    if (s->recovering) {
+      ended = true;  // reply outside the table lock
+    } else if (s->recovering) {
       busy = true;  // §5.4: client sleeps 100 ms and resends
     } else {
       double now_ms = env_->NowModelMs();
@@ -320,6 +314,19 @@ void Msp::HandleRequestMsg(Message m) {
         arm = true;
       }
     }
+  }
+  if (ended) {
+    // A request to an ended session gets a definitive error rather than
+    // silence — the client should not retry forever.
+    Message r;
+    r.type = MessageType::kReply;
+    r.sender = config_.id;
+    r.session_id = m.session_id;
+    r.seqno = m.seqno;
+    r.reply_code = ReplyCode::kAppError;
+    r.payload = "session ended";
+    network_->Send(config_.id, m.sender, r.Encode());
+    return;
   }
   if (busy) {
     SendBusyReply(m);
@@ -338,7 +345,7 @@ void Msp::SessionWorker(std::shared_ptr<Session> s) {
     bool check_orphan = false;
     bool take_cp = false;
     {
-      std::lock_guard<std::mutex> lk(sessions_mu_);
+      audit::LockGuard lk(sessions_mu_);
       if (state_.load() != State::kRunning) {
         s->worker_active = false;
         return;
@@ -400,6 +407,10 @@ Status Msp::ProcessRequestLogBased(Session* s, const Message& m) {
     MSPLOG_RETURN_IF_ERROR(RecoverSessionReplay(s));
   }
 
+  // Auditor: since the last request boundary the session's DV may only have
+  // grown (any recovery in between re-synced the shadow).
+  audit::CheckDvMonotonic("session " + s->id, s->audit_shadow_dv, s->dv);
+
   // Duplicate / out-of-order detection (§3.1).
   if (m.seqno < s->next_expected_seqno) {
     if (s->buffered_reply.valid && s->buffered_reply.seqno == m.seqno) {
@@ -420,7 +431,7 @@ Status Msp::ProcessRequestLogBased(Session* s, const Message& m) {
   if (m.has_dv) {
     std::optional<RecoveredStateTable::OrphanWitness> witness;
     {
-      std::lock_guard<std::mutex> lk(table_mu_);
+      audit::LockGuard lk(table_mu_);
       witness = recovered_table_.FindOrphanEntry(m.dv);
     }
     if (witness) {
@@ -466,7 +477,7 @@ Status Msp::ProcessRequestLogBased(Session* s, const Message& m) {
     MSPLOG_RETURN_IF_ERROR(log_->FlushUpTo(lsn));
     s->positions.Discard();
     {
-      std::lock_guard<std::mutex> lk(sessions_mu_);
+      audit::LockGuard lk(sessions_mu_);
       s->ended = true;
     }
     return SendReply(s, ReplyCode::kOk, "", m.seqno);
@@ -519,6 +530,7 @@ Status Msp::ProcessRequestLogBased(Session* s, const Message& m) {
 
   s->buffered_reply = {true, m.seqno, code, payload};
   s->next_expected_seqno = m.seqno + 1;
+  s->audit_shadow_dv = s->dv;
 
   // Session checkpoint, only between requests (§3.2).
   if (config_.session_checkpoint_threshold_bytes > 0 &&
@@ -559,8 +571,12 @@ Status Msp::SendReply(Session* s, ReplyCode code, const Bytes& payload,
       env_->stats().dv_entries_attached.fetch_add(r.dv.entry_count());
     } else {
       // Pessimistic: output messages must never become orphans (§2.3).
-      MSPLOG_RETURN_IF_ERROR(
-          DistributedFlush(config_.per_session_dv ? s->dv : MspWideDv()));
+      DependencyVector flush_dv =
+          config_.per_session_dv ? s->dv : MspWideDv();
+      MSPLOG_RETURN_IF_ERROR(DistributedFlush(flush_dv));
+      audit::CheckWalBeforeSend("reply to " + s->client, config_.id,
+                                epoch_.load(), flush_dv,
+                                log_->durable_lsn());
     }
   }
   network_->Send(config_.id, s->client, r.Encode());
@@ -579,6 +595,8 @@ uint64_t Msp::AppendSessionRecord(Session* s, LogRecord rec) {
   uint64_t lsn = log_->Append(rec, &framed);
   s->positions.Add(lsn);
   s->state_number = lsn;
+  audit::CheckDvSelfMonotonic("session " + s->id, config_.id, s->dv,
+                              StateId{epoch_.load(), lsn});
   s->dv.Set(config_.id, StateId{epoch_.load(), lsn});
   s->bytes_logged_since_cp += framed;
   return lsn;
@@ -586,7 +604,7 @@ uint64_t Msp::AppendSessionRecord(Session* s, LogRecord rec) {
 
 std::shared_ptr<SharedVariable> Msp::GetOrCreateSharedVar(
     const std::string& name) {
-  std::lock_guard<std::mutex> lk(vars_mu_);
+  audit::LockGuard lk(vars_mu_);
   auto it = shared_vars_.find(name);
   if (it != shared_vars_.end()) return it->second;
   auto v = std::make_shared<SharedVariable>(name, Bytes());
@@ -597,7 +615,7 @@ std::shared_ptr<SharedVariable> Msp::GetOrCreateSharedVar(
 Status Msp::SharedReadImpl(Session* s, const std::string& name, Bytes* out) {
   auto var = GetOrCreateSharedVar(name);
   if (config_.mode != RecoveryMode::kLogBased) {
-    std::shared_lock<std::shared_mutex> lk(var->rw);
+    audit::SharedLock lk(var->rw);
     *out = var->value;
     return Status::OK();
   }
@@ -606,10 +624,10 @@ Status Msp::SharedReadImpl(Session* s, const std::string& name, Bytes* out) {
 
   // Fig. 8, read: check whether the variable's value is an orphan; if so,
   // the reader itself rolls it back along the backward chain (§4.2).
-  std::shared_lock<std::shared_mutex> rlk(var->rw);
+  audit::SharedLock rlk(var->rw);
   if (DvIsOrphan(var->dv)) {
     rlk.unlock();
-    std::unique_lock<std::shared_mutex> wlk(var->rw);
+    audit::SharedUniqueLock wlk(var->rw);
     if (DvIsOrphan(var->dv)) {
       env_->stats().orphans_detected.fetch_add(1);
       MSPLOG_RETURN_IF_ERROR(UndoSharedVariable(var.get()));
@@ -642,13 +660,13 @@ Status Msp::SharedWriteImpl(Session* s, const std::string& name,
                             ByteView value) {
   auto var = GetOrCreateSharedVar(name);
   if (config_.mode != RecoveryMode::kLogBased) {
-    std::unique_lock<std::shared_mutex> lk(var->rw);
+    audit::SharedUniqueLock lk(var->rw);
     var->value = Bytes(value);
     return Status::OK();
   }
   if (SessionIsOrphan(s)) return Status::Orphan("session " + s->id);
 
-  std::unique_lock<std::shared_mutex> lk(var->rw);
+  audit::SharedUniqueLock lk(var->rw);
   // Fig. 8, write: the writer need not check whether the existing value is
   // an orphan — it is being replaced. The write record carries the writer
   // session's DV, the new value, and the LSN of the previous write record
@@ -696,7 +714,7 @@ Status Msp::SharedUpdateImpl(Session* s, const std::string& name,
                              Bytes* out) {
   auto var = GetOrCreateSharedVar(name);
   if (config_.mode != RecoveryMode::kLogBased) {
-    std::unique_lock<std::shared_mutex> lk(var->rw);
+    audit::SharedUniqueLock lk(var->rw);
     var->value = fn(var->value);
     if (out) *out = var->value;
     return Status::OK();
@@ -707,7 +725,7 @@ Status Msp::SharedUpdateImpl(Session* s, const std::string& name,
   // log sees the same two records a ReadShared/WriteShared pair produces
   // (value-logged read, chained write), so recovery is unchanged; only the
   // lock scope differs.
-  std::unique_lock<std::shared_mutex> lk(var->rw);
+  audit::SharedUniqueLock lk(var->rw);
   if (DvIsOrphan(var->dv)) {
     env_->stats().orphans_detected.fetch_add(1);
     MSPLOG_RETURN_IF_ERROR(UndoSharedVariable(var.get()));
@@ -806,31 +824,39 @@ Status Msp::CallRoundTrip(const std::string& dest, const Message& req,
   while (sends < max_sends) {
     auto pc = std::make_shared<PendingCall>();
     {
-      std::lock_guard<std::mutex> lk(calls_mu_);
+      audit::LockGuard lk(calls_mu_);
       pending_calls_[key] = pc;
     }
     network_->Send(config_.id, dest, wire);
     ++sends;
     bool got = false;
+    bool failed = false;
+    bool done = false;
+    Message reply;
     {
-      std::unique_lock<std::mutex> lk(pc->mu);
+      // Snapshot under pc->mu: the dispatch thread can deliver a late reply
+      // right after a timed-out wait, racing unlocked reads of done/reply.
+      audit::UniqueLock lk(pc->mu);
       got = pc->cv.wait_for(
           lk,
           std::chrono::milliseconds(RealWaitMs(config_.call_resend_timeout_ms)),
           [&] { return pc->done || pc->failed; });
+      failed = pc->failed;
+      done = pc->done;
+      if (done) reply = std::move(pc->reply);
     }
     {
-      std::lock_guard<std::mutex> lk(calls_mu_);
+      audit::LockGuard lk(calls_mu_);
       auto it = pending_calls_.find(key);
       if (it != pending_calls_.end() && it->second == pc) {
         pending_calls_.erase(it);
       }
     }
-    if (state_.load() == State::kCrashed || pc->failed) {
+    if (state_.load() == State::kCrashed || failed) {
       return Status::Crashed("MSP crashed during call");
     }
-    if (!got || !pc->done) continue;  // timeout: resend
-    Message& m = pc->reply;
+    if (!got || !done) continue;  // timeout: resend
+    Message& m = reply;
     if (m.reply_code == ReplyCode::kBusy) {
       env_->SleepModelMs(config_.busy_backoff_ms);
       continue;
@@ -839,7 +865,7 @@ Status Msp::CallRoundTrip(const std::string& dest, const Message& req,
       // The callee proved our request carried a lost dependency: absorb the
       // recovered state number and surface orphan-ness to the session.
       {
-        std::lock_guard<std::mutex> lk(table_mu_);
+        audit::LockGuard lk(table_mu_);
         recovered_table_.Record(m.payload, m.rec_epoch, m.rec_sn);
       }
       return Status::Orphan("orphan notice from " + dest);
@@ -893,8 +919,12 @@ Status Msp::OutgoingCallImpl(Session* s, const std::string& target,
     } else {
       // Pessimistic leg: flush our dependencies before the message leaves
       // the service domain (Fig. 7, "before send, across service domains").
-      MSPLOG_RETURN_IF_ERROR(
-          DistributedFlush(config_.per_session_dv ? s->dv : MspWideDv()));
+      DependencyVector flush_dv =
+          config_.per_session_dv ? s->dv : MspWideDv();
+      MSPLOG_RETURN_IF_ERROR(DistributedFlush(flush_dv));
+      audit::CheckWalBeforeSend("call to " + target, config_.id,
+                                epoch_.load(), flush_dv,
+                                log_->durable_lsn());
     }
   }
 
@@ -962,7 +992,7 @@ Status Msp::DistributedFlushImpl(const DependencyVector& dv) {
     if (msp == config_.id) continue;
     if (!IntraDomain(msp)) continue;  // cross-domain deps never exist
     {
-      std::lock_guard<std::mutex> lk(watermark_mu_);
+      audit::LockGuard lk(watermark_mu_);
       auto it = flushed_watermark_.find(msp);
       if (it != flushed_watermark_.end() && id <= it->second) {
         continue;  // already durable at the peer
@@ -973,7 +1003,7 @@ Status Msp::DistributedFlushImpl(const DependencyVector& dv) {
     leg.id = id;
     leg.pf = std::make_shared<PendingFlush>();
     {
-      std::lock_guard<std::mutex> lk(flush_mu_);
+      audit::LockGuard lk(flush_mu_);
       leg.flush_id = next_flush_id_++;
       pending_flushes_[leg.flush_id] = leg.pf;
     }
@@ -989,7 +1019,7 @@ Status Msp::DistributedFlushImpl(const DependencyVector& dv) {
   }
 
   auto cleanup = [&] {
-    std::lock_guard<std::mutex> lk(flush_mu_);
+    audit::LockGuard lk(flush_mu_);
     for (auto& leg : legs) pending_flushes_.erase(leg.flush_id);
   };
 
@@ -1012,20 +1042,28 @@ Status Msp::DistributedFlushImpl(const DependencyVector& dv) {
     uint32_t rounds = 0;
     while (true) {
       bool settled = false;
+      bool failed = false;
+      bool done = false;
+      Message reply;
       {
-        std::unique_lock<std::mutex> lk(leg.pf->mu);
+        // Snapshot everything under pf->mu: a late reply can land right
+        // after a timed-out wait, racing unlocked reads of done/reply.
+        audit::UniqueLock lk(leg.pf->mu);
         settled = leg.pf->cv.wait_for(
             lk, std::chrono::milliseconds(RealWaitMs(config_.flush_timeout_ms)),
             [&] { return leg.pf->done || leg.pf->failed; });
+        failed = leg.pf->failed;
+        done = leg.pf->done;
+        if (done) reply = leg.pf->reply;
       }
-      if (state_.load() == State::kCrashed || leg.pf->failed) {
+      if (state_.load() == State::kCrashed || failed) {
         cleanup();
         return Status::Crashed("MSP crashed during distributed flush");
       }
-      if (settled && leg.pf->done) {
-        const Message& m = leg.pf->reply;
+      if (settled && done) {
+        const Message& m = reply;
         if (m.flush_ok) {
-          std::lock_guard<std::mutex> lk(watermark_mu_);
+          audit::LockGuard lk(watermark_mu_);
           auto it = flushed_watermark_.find(leg.peer);
           if (it == flushed_watermark_.end() || it->second < leg.id) {
             flushed_watermark_[leg.peer] = leg.id;
@@ -1037,7 +1075,7 @@ Status Msp::DistributedFlushImpl(const DependencyVector& dv) {
         } else {
           // The peer's recovery provably lost our dependency: orphan.
           {
-            std::lock_guard<std::mutex> lk(table_mu_);
+            audit::LockGuard lk(table_mu_);
             recovered_table_.Record(leg.peer, m.rec_epoch, m.rec_sn);
           }
           env_->stats().orphans_detected.fetch_add(1);
@@ -1087,7 +1125,7 @@ void Msp::HandleFlushRequest(Message m) {
     }
   } else if (m.epoch < cur_epoch) {
     // The epoch already ended: the sn is durable iff it survived recovery.
-    std::lock_guard<std::mutex> lk(table_mu_);
+    audit::LockGuard lk(table_mu_);
     auto rsn = recovered_table_.RecoveredSn(config_.id, m.epoch);
     r.flush_ok = rsn.has_value() && *rsn >= m.flush_sn;
     if (!r.flush_ok) {
@@ -1104,13 +1142,13 @@ void Msp::HandleFlushRequest(Message m) {
 void Msp::HandleFlushReply(Message m) {
   std::shared_ptr<PendingFlush> pf;
   {
-    std::lock_guard<std::mutex> lk(flush_mu_);
+    audit::LockGuard lk(flush_mu_);
     auto it = pending_flushes_.find(m.flush_id);
     if (it == pending_flushes_.end()) return;  // stale/duplicate
     pf = it->second;
   }
   {
-    std::lock_guard<std::mutex> lk(pf->mu);
+    audit::LockGuard lk(pf->mu);
     pf->reply = std::move(m);
     pf->done = true;
   }
@@ -1120,13 +1158,13 @@ void Msp::HandleFlushReply(Message m) {
 void Msp::HandleReplyMsg(Message m) {
   std::shared_ptr<PendingCall> pc;
   {
-    std::lock_guard<std::mutex> lk(calls_mu_);
+    audit::LockGuard lk(calls_mu_);
     auto it = pending_calls_.find({m.session_id, m.seqno});
     if (it == pending_calls_.end()) return;  // duplicate/stale reply
     pc = it->second;
   }
   {
-    std::lock_guard<std::mutex> lk(pc->mu);
+    audit::LockGuard lk(pc->mu);
     if (pc->done) return;
     pc->reply = std::move(m);
     pc->done = true;
@@ -1136,7 +1174,7 @@ void Msp::HandleReplyMsg(Message m) {
 
 void Msp::HandleRecoveryAnnounce(Message m) {
   {
-    std::lock_guard<std::mutex> lk(table_mu_);
+    audit::LockGuard lk(table_mu_);
     recovered_table_.Record(m.sender, m.rec_epoch, m.rec_sn);
   }
   if (config_.mode == RecoveryMode::kLogBased && log_) {
@@ -1153,7 +1191,7 @@ void Msp::HandleRecoveryAnnounce(Message m) {
   // interception point (their worker picks the flag up between requests).
   std::vector<std::shared_ptr<Session>> to_arm;
   {
-    std::lock_guard<std::mutex> lk(sessions_mu_);
+    audit::LockGuard lk(sessions_mu_);
     for (auto& [id, s] : sessions_) {
       if (s->ended) continue;
       s->needs_orphan_check = true;
@@ -1173,13 +1211,13 @@ void Msp::HandleRecoveryAnnounce(Message m) {
 // ---------------------------------------------------------------------------
 
 bool Msp::DvIsOrphan(const DependencyVector& dv) const {
-  std::lock_guard<std::mutex> lk(table_mu_);
+  audit::LockGuard lk(table_mu_);
   return recovered_table_.IsOrphanDv(dv);
 }
 
 DependencyVector Msp::MspWideDv() const {
   DependencyVector all;
-  std::lock_guard<std::mutex> lk(sessions_mu_);
+  audit::LockGuard lk(sessions_mu_);
   for (const auto& [id, sess] : sessions_) {
     if (!sess->ended) all.Merge(sess->dv);
   }
@@ -1204,7 +1242,7 @@ Status Msp::ProcessRequestBaseline(Session* s, const Message& m) {
                         config_.mode == RecoveryMode::kStateServer;
   if (m.method == "__end_session") {
     {
-      std::lock_guard<std::mutex> lk(sessions_mu_);
+      audit::LockGuard lk(sessions_mu_);
       s->ended = true;
     }
     return SendReply(s, ReplyCode::kOk, "", m.seqno);
@@ -1303,10 +1341,27 @@ Status Msp::StoreBaselineState(Session* s) {
 // Introspection
 // ---------------------------------------------------------------------------
 
+void Msp::QuiesceSession(Session* s) const {
+  // Session fields are owned by the worker (or recovery) thread currently
+  // draining the session, and that thread can still be running its epilogue
+  // after the client already has its reply. Both worker_active and
+  // recovering are cleared under sessions_mu_, so observing them false here
+  // orders every owner-thread write before the caller's access.
+  while (true) {
+    {
+      audit::LockGuard lk(sessions_mu_);
+      if (!s->worker_active && !s->recovering && s->pending_requests.empty())
+        return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
 StatusOr<Bytes> Msp::PeekSessionVar(const std::string& session_id,
                                     const std::string& var) const {
   auto s = GetSession(session_id);
   if (!s) return Status::NotFound("no session " + session_id);
+  QuiesceSession(s.get());
   auto it = s->vars.find(var);
   if (it == s->vars.end()) return Status::NotFound("no var " + var);
   return it->second;
@@ -1315,12 +1370,12 @@ StatusOr<Bytes> Msp::PeekSessionVar(const std::string& session_id,
 StatusOr<Bytes> Msp::PeekSharedValue(const std::string& name) const {
   std::shared_ptr<SharedVariable> v;
   {
-    std::lock_guard<std::mutex> lk(vars_mu_);
+    audit::LockGuard lk(vars_mu_);
     auto it = shared_vars_.find(name);
     if (it == shared_vars_.end()) return Status::NotFound("no shared " + name);
     v = it->second;
   }
-  std::shared_lock<std::shared_mutex> vlk(v->rw);
+  audit::SharedLock vlk(v->rw);
   return v->value;
 }
 
@@ -1328,6 +1383,7 @@ StatusOr<uint64_t> Msp::PeekNextExpectedSeqno(
     const std::string& session_id) const {
   auto s = GetSession(session_id);
   if (!s) return Status::NotFound("no session " + session_id);
+  QuiesceSession(s.get());
   return s->next_expected_seqno;
 }
 
@@ -1335,6 +1391,7 @@ std::vector<uint64_t> Msp::PeekPositionStream(
     const std::string& session_id) const {
   auto s = GetSession(session_id);
   if (!s) return {};
+  QuiesceSession(s.get());
   return s->positions.All();
 }
 
@@ -1342,13 +1399,24 @@ bool Msp::HasSession(const std::string& session_id) const {
   return GetSession(session_id) != nullptr;
 }
 
+void Msp::InjectDvRegressionForTest(const std::string& session_id) {
+  auto s = GetSession(session_id);
+  if (!s) return;
+  QuiesceSession(s.get());
+  std::optional<StateId> self = s->dv.Get(config_.id);
+  if (!self || self->sn == 0) return;
+  // Silently drop the self entry back one LSN, simulating a bug that loses a
+  // logged dependency. The dv-monotonic check fires on the next request.
+  s->dv.Set(config_.id, StateId{self->epoch, self->sn - 1});
+}
+
 size_t Msp::SessionCount() const {
-  std::lock_guard<std::mutex> lk(sessions_mu_);
+  audit::LockGuard lk(sessions_mu_);
   return sessions_.size();
 }
 
 RecoveredStateTable Msp::SnapshotRecoveredTable() const {
-  std::lock_guard<std::mutex> lk(table_mu_);
+  audit::LockGuard lk(table_mu_);
   return recovered_table_;
 }
 

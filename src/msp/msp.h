@@ -26,16 +26,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "audit/mutex.h"
 #include "common/bytes.h"
 #include "common/status.h"
 #include "db/kvdb.h"
@@ -103,6 +102,11 @@ class Msp {
     after_request_hook_ = std::move(hook);
   }
 
+  /// Test hook for the protocol auditor: silently lower `session_id`'s own
+  /// DV entry, simulating a dependency-dropping bug. The dv-monotonic
+  /// invariant check must trip on the session's next request.
+  void InjectDvRegressionForTest(const std::string& session_id);
+
   // ---- introspection for tests and benchmarks ----
   StatusOr<Bytes> PeekSessionVar(const std::string& session_id,
                                  const std::string& var) const;
@@ -121,7 +125,7 @@ class Msp {
   /// Model ms the most recent crash recovery's analysis scan took.
   /// Back-compat shim over LastRecoveryTimeline().analysis_scan_ms.
   double last_recovery_scan_ms() const {
-    std::lock_guard<std::mutex> lk(timeline_mu_);
+    audit::LockGuard lk(timeline_mu_);
     return last_recovery_timeline_.analysis_scan_ms;
   }
 
@@ -129,6 +133,10 @@ class Msp {
   friend class ExecContext;
 
   enum class State { kStopped, kRecovering, kRunning, kCrashed };
+
+  /// Block until no worker or recovery thread owns `s` (test-hook helper;
+  /// establishes happens-before with the owner thread's last writes).
+  void QuiesceSession(Session* s) const;
 
   /// Crash body; caller holds lifecycle_mu_.
   void CrashLocked();
@@ -231,7 +239,7 @@ class Msp {
 
   /// Serializes Start / Crash / Shutdown against each other (crash
   /// injection may fire while a previous restart is still in progress).
-  std::mutex lifecycle_mu_;
+  audit::Mutex lifecycle_mu_{"msp.lifecycle"};
   std::atomic<State> state_{State::kStopped};
   std::atomic<uint32_t> epoch_{0};
 
@@ -242,58 +250,58 @@ class Msp {
   std::shared_ptr<Mailbox> mailbox_;
   std::thread dispatch_thread_;
   std::thread checkpoint_thread_;
-  std::mutex cp_mu_;
-  std::condition_variable cp_cv_;
+  audit::Mutex cp_mu_{"msp.cp"};
+  audit::CondVar cp_cv_;
   bool cp_stop_ = false;
 
-  mutable std::mutex sessions_mu_;
+  mutable audit::Mutex sessions_mu_{"msp.sessions"};
   std::map<std::string, std::shared_ptr<Session>> sessions_;
 
-  mutable std::mutex vars_mu_;
+  mutable audit::Mutex vars_mu_{"msp.vars"};
   std::map<std::string, std::shared_ptr<SharedVariable>> shared_vars_;
 
   std::map<std::string, ServiceMethod> methods_;
 
-  mutable std::mutex table_mu_;
+  mutable audit::Mutex table_mu_{"msp.table"};
   RecoveredStateTable recovered_table_;
 
   struct PendingCall {
-    std::mutex mu;
-    std::condition_variable cv;
+    audit::Mutex mu{"msp.pending"};
+    audit::CondVar cv;
     bool done = false;
     bool failed = false;
     Message reply;
   };
-  std::mutex calls_mu_;
+  audit::Mutex calls_mu_{"msp.calls"};
   std::map<std::pair<std::string, uint64_t>, std::shared_ptr<PendingCall>>
       pending_calls_;
 
   struct PendingFlush {
-    std::mutex mu;
-    std::condition_variable cv;
+    audit::Mutex mu{"msp.pending"};
+    audit::CondVar cv;
     bool done = false;
     bool failed = false;
     Message reply;
   };
-  std::mutex flush_mu_;
+  audit::Mutex flush_mu_{"msp.flush"};
   uint64_t next_flush_id_ = 1;
   std::map<uint64_t, std::shared_ptr<PendingFlush>> pending_flushes_;
 
   /// Highest (epoch, sn) per peer we know to be durable there — lets a
   /// distributed flush skip request legs for dependencies flushed earlier.
-  std::mutex watermark_mu_;
+  audit::Mutex watermark_mu_{"msp.watermark"};
   std::map<MspId, StateId> flushed_watermark_;
   /// Serializes MSP checkpoints.
-  std::mutex msp_cp_mu_;
+  audit::Mutex msp_cp_mu_{"msp.msp_cp"};
   /// The single CPU core (config.single_core_cpu).
-  std::mutex cpu_mu_;
+  audit::Mutex cpu_mu_{"msp.cpu"};
 
   uint64_t last_msp_cp_log_end_ = 0;
   RequestHook after_request_hook_;
 
   /// Timeline of the most recent CrashRecovery(); session-replay entries
   /// (including lazy orphan recoveries) are appended as they finish.
-  mutable std::mutex timeline_mu_;
+  mutable audit::Mutex timeline_mu_{"msp.timeline"};
   obs::RecoveryTimeline last_recovery_timeline_;
   /// Concurrent RecoverSessionReplay calls right now / high-water mark.
   std::atomic<uint32_t> active_replays_{0};

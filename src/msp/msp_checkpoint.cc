@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "audit/mutex.h"
 #include "msp/exec_context.h"
 #include "msp/msp.h"
 #include "msp/msp_checkpoint_format.h"
@@ -70,7 +71,7 @@ Status Msp::TakeMspCheckpoint(bool force_units) {
   if (config_.mode != RecoveryMode::kLogBased || !log_) {
     return Status::Unsupported("");
   }
-  std::lock_guard<std::mutex> cp_guard(msp_cp_mu_);
+  audit::LockGuard cp_guard(msp_cp_mu_);
   env_->tracer().Record(obs::TraceEventType::kCheckpointBegin,
                         env_->NowModelMs(), config_.id, /*session=*/"",
                         /*seqno=*/0, force_units ? "msp forced" : "msp");
@@ -80,11 +81,11 @@ Status Msp::TakeMspCheckpoint(bool force_units) {
   if (force_units) {
     std::vector<std::shared_ptr<SharedVariable>> vars;
     {
-      std::lock_guard<std::mutex> lk(vars_mu_);
+      audit::LockGuard lk(vars_mu_);
       for (auto& [n, v] : shared_vars_) vars.push_back(v);
     }
     for (auto& v : vars) {
-      std::unique_lock<std::shared_mutex> vlk(v->rw);
+      audit::SharedUniqueLock vlk(v->rw);
       v->msp_cps_since_cp++;
       bool stale = config_.force_checkpoint_after_msp_cps > 0 &&
                    v->msp_cps_since_cp >= config_.force_checkpoint_after_msp_cps;
@@ -103,12 +104,12 @@ Status Msp::TakeMspCheckpoint(bool force_units) {
 
   MspCheckpointData data;
   {
-    std::lock_guard<std::mutex> lk(table_mu_);
+    audit::LockGuard lk(table_mu_);
     data.table = recovered_table_;
   }
   std::vector<std::shared_ptr<Session>> stale_sessions;
   {
-    std::lock_guard<std::mutex> lk(sessions_mu_);
+    audit::LockGuard lk(sessions_mu_);
     for (auto& [id, s] : sessions_) {
       if (s->ended) continue;
       uint64_t cp = s->last_checkpoint_lsn.load();
@@ -128,9 +129,9 @@ Status Msp::TakeMspCheckpoint(bool force_units) {
     }
   }
   {
-    std::lock_guard<std::mutex> lk(vars_mu_);
+    audit::LockGuard lk(vars_mu_);
     for (auto& [name, v] : shared_vars_) {
-      std::shared_lock<std::shared_mutex> vlk(v->rw);
+      audit::SharedLock vlk(v->rw);
       data.vars.push_back({name, v->last_checkpoint_lsn,
                            v->last_write_lsn != 0});
     }
@@ -144,7 +145,8 @@ Status Msp::TakeMspCheckpoint(bool force_units) {
   // The referenced session/variable checkpoints were all appended before we
   // read their LSNs, so flushing everything through the MSP checkpoint
   // record makes every referenced position durable before the anchor points
-  // at it (ARIES rule).
+  // at it (ARIES rule). audit:allow(blocking-under-lock): MSP checkpoints
+  // are serialized by design; the flush is the checkpoint's commit point.
   MSPLOG_RETURN_IF_ERROR(log_->FlushAll());
   MSPLOG_RETURN_IF_ERROR(anchor_.Write({lsn, epoch_.load()}));
   last_msp_cp_log_end_ = log_->end_lsn();
@@ -176,7 +178,7 @@ Status Msp::ForceSessionCheckpoint(const std::string& session_id) {
   // "between requests" (§3.2).
   while (true) {
     {
-      std::lock_guard<std::mutex> lk(sessions_mu_);
+      audit::LockGuard lk(sessions_mu_);
       if (!s->worker_active && !s->recovering) {
         s->worker_active = true;
         break;
@@ -188,7 +190,7 @@ Status Msp::ForceSessionCheckpoint(const std::string& session_id) {
   Status st = TakeSessionCheckpoint(s.get());
   bool rearm = false;
   {
-    std::lock_guard<std::mutex> lk(sessions_mu_);
+    audit::LockGuard lk(sessions_mu_);
     if (!s->pending_requests.empty() || s->needs_orphan_check ||
         s->needs_checkpoint) {
       rearm = true;  // stay claimed; a worker drains the queue
@@ -203,12 +205,12 @@ Status Msp::ForceSessionCheckpoint(const std::string& session_id) {
 Status Msp::ForceSharedVarCheckpoint(const std::string& name) {
   std::shared_ptr<SharedVariable> v;
   {
-    std::lock_guard<std::mutex> lk(vars_mu_);
+    audit::LockGuard lk(vars_mu_);
     auto it = shared_vars_.find(name);
     if (it == shared_vars_.end()) return Status::NotFound("no shared " + name);
     v = it->second;
   }
-  std::unique_lock<std::shared_mutex> vlk(v->rw);
+  audit::SharedUniqueLock vlk(v->rw);
   Status st = TakeSharedVarCheckpoint(v.get());
   if (st.IsOrphan()) {
     env_->stats().orphans_detected.fetch_add(1);
@@ -218,7 +220,7 @@ Status Msp::ForceSharedVarCheckpoint(const std::string& name) {
 }
 
 void Msp::CheckpointDaemonLoop() {
-  std::unique_lock<std::mutex> lk(cp_mu_);
+  audit::UniqueLock lk(cp_mu_);
   while (!cp_stop_) {
     cp_cv_.wait_for(lk,
                     std::chrono::milliseconds(

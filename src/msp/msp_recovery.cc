@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <map>
 
+#include "audit/invariants.h"
+#include "audit/mutex.h"
 #include "log/log_scanner.h"
 #include "msp/exec_context.h"
 #include "msp/msp.h"
@@ -19,7 +21,7 @@ std::string PosFileName(const std::string& msp, const std::string& session) {
 }  // namespace
 
 obs::RecoveryTimeline Msp::LastRecoveryTimeline() const {
-  std::lock_guard<std::mutex> lk(timeline_mu_);
+  audit::LockGuard lk(timeline_mu_);
   return last_recovery_timeline_;
 }
 
@@ -44,7 +46,7 @@ Status Msp::CrashRecovery() {
   MSPLOG_RETURN_IF_ERROR(anchor_.Write({msp_cp_lsn, epoch_.load()}));
 
   {
-    std::lock_guard<std::mutex> lk(timeline_mu_);
+    audit::LockGuard lk(timeline_mu_);
     last_recovery_timeline_ = obs::RecoveryTimeline();
     last_recovery_timeline_.epoch = epoch_.load();
     last_recovery_timeline_.started_model_ms = t0;
@@ -61,10 +63,10 @@ Status Msp::CrashRecovery() {
     MspCheckpointData data;
     MSPLOG_RETURN_IF_ERROR(data.Decode(cp.payload));
     {
-      std::lock_guard<std::mutex> lk(table_mu_);
+      audit::LockGuard lk(table_mu_);
       recovered_table_.Merge(data.table);
     }
-    std::lock_guard<std::mutex> lk(sessions_mu_);
+    audit::LockGuard lk(sessions_mu_);
     for (const auto& e : data.sessions) {
       auto s = std::make_shared<Session>(e.id, e.client, disk_,
                                          PosFileName(config_.id, e.id));
@@ -85,14 +87,14 @@ Status Msp::CrashRecovery() {
   const uint64_t durable = disk_->FileSize(log_file);
   std::map<std::string, std::vector<uint64_t>> positions;
   {
-    std::lock_guard<std::mutex> lk(sessions_mu_);
+    audit::LockGuard lk(sessions_mu_);
     for (auto& [id, s] : sessions_) positions[id];  // seed known sessions
   }
 
   auto ensure_session =
       [&](const std::string& id,
           const std::string& client) -> std::shared_ptr<Session> {
-    std::lock_guard<std::mutex> lk(sessions_mu_);
+    audit::LockGuard lk(sessions_mu_);
     auto it = sessions_.find(id);
     if (it != sessions_.end()) {
       if (it->second->client.empty() && !client.empty()) {
@@ -135,7 +137,7 @@ Status Msp::CrashRecovery() {
       case LogRecordType::kSharedWrite: {
         // Roll forward (§4.3): each write record carries the full value.
         auto v = GetOrCreateSharedVar(rec.var_id);
-        std::unique_lock<std::shared_mutex> vlk(v->rw);
+        audit::SharedUniqueLock vlk(v->rw);
         v->value = rec.payload;
         v->dv = rec.dv;
         v->state_number = rec.lsn;
@@ -144,7 +146,7 @@ Status Msp::CrashRecovery() {
       }
       case LogRecordType::kSharedVarCheckpoint: {
         auto v = GetOrCreateSharedVar(rec.var_id);
-        std::unique_lock<std::shared_mutex> vlk(v->rw);
+        audit::SharedUniqueLock vlk(v->rw);
         v->value = rec.payload;
         v->dv.Clear();
         v->state_number = rec.lsn;
@@ -159,13 +161,13 @@ Status Msp::CrashRecovery() {
         break;
       }
       case LogRecordType::kSessionEnd: {
-        std::lock_guard<std::mutex> lk(sessions_mu_);
+        audit::LockGuard lk(sessions_mu_);
         sessions_.erase(rec.session_id);
         positions.erase(rec.session_id);
         break;
       }
       case LogRecordType::kRecoveredState: {
-        std::lock_guard<std::mutex> lk(table_mu_);
+        audit::LockGuard lk(table_mu_);
         recovered_table_.Record(rec.peer, rec.peer_epoch,
                                 rec.peer_recovered_sn);
         break;
@@ -198,14 +200,14 @@ Status Msp::CrashRecovery() {
   // recovered.
   const uint64_t recovered_sn = durable > 0 ? durable - 1 : 0;
   {
-    std::lock_guard<std::mutex> lk(table_mu_);
+    audit::LockGuard lk(table_mu_);
     recovered_table_.Record(config_.id, old_epoch, recovered_sn);
   }
 
   // Hand the reconstructed position streams to the sessions.
   uint64_t sessions_to_recover = 0;
   {
-    std::lock_guard<std::mutex> lk(sessions_mu_);
+    audit::LockGuard lk(sessions_mu_);
     for (auto& [id, s] : sessions_) {
       auto it = positions.find(id);
       if (it != positions.end()) {
@@ -224,7 +226,7 @@ Status Msp::CrashRecovery() {
                         config_.id, /*session=*/"", /*seqno=*/0,
                         "records=" + std::to_string(scanned_records));
   {
-    std::lock_guard<std::mutex> lk(timeline_mu_);
+    audit::LockGuard lk(timeline_mu_);
     last_recovery_timeline_.analysis_scan_ms = scan_end_ms - t0;
     last_recovery_timeline_.analysis_records_scanned = scanned_records;
     last_recovery_timeline_.analysis_bytes_scanned =
@@ -237,7 +239,7 @@ Status Msp::CrashRecovery() {
   // lost an unflushed kRecoveredState record) still converge.
   std::vector<std::pair<uint32_t, uint64_t>> own_history;
   {
-    std::lock_guard<std::mutex> lk(table_mu_);
+    audit::LockGuard lk(table_mu_);
     for (const auto& [key, sn] : recovered_table_.entries()) {
       if (key.first == config_.id) own_history.push_back({key.second, sn});
     }
@@ -261,7 +263,7 @@ Status Msp::CrashRecovery() {
 
   const double end_ms = env_->NowModelMs();
   {
-    std::lock_guard<std::mutex> lk(timeline_mu_);
+    audit::LockGuard lk(timeline_mu_);
     last_recovery_timeline_.post_scan_checkpoint_ms = end_ms - cp_t0;
   }
   env_->tracer().Record(obs::TraceEventType::kRecoveryEnd, end_ms, config_.id,
@@ -277,7 +279,7 @@ void Msp::SessionRecoveryTask(std::shared_ptr<Session> s) {
 
 Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
   {
-    std::lock_guard<std::mutex> lk(sessions_mu_);
+    audit::LockGuard lk(sessions_mu_);
     s->recovering = true;
   }
   const double replay_t0 = env_->NowModelMs();
@@ -286,7 +288,7 @@ Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
                         from_crash ? "crash" : "orphan");
   const uint32_t parallel_now = active_replays_.fetch_add(1) + 1;
   {
-    std::lock_guard<std::mutex> lk(timeline_mu_);
+    audit::LockGuard lk(timeline_mu_);
     if (parallel_now > last_recovery_timeline_.max_parallel_replays) {
       last_recovery_timeline_.max_parallel_replays = parallel_now;
     }
@@ -308,13 +310,22 @@ Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
     break;
   }
   active_replays_.fetch_sub(1);
+  // Replay legitimately rewinds the DV; re-arm the monotonicity shadow at the
+  // new baseline, and cross-check that no surviving dependency points at a
+  // state number the recovered-state table proves lost (Theorem 4.2).
+  s->audit_shadow_dv = s->dv;
+  if (st.ok()) {
+    audit::CheckRecoveredDominates("session " + s->id,
+                                   SnapshotRecoveredTable(), config_.id,
+                                   epoch_.load(), s->dv);
+  }
   const double replay_ms = env_->NowModelMs() - replay_t0;
   hist_replay_ms_->Record(replay_ms);
   env_->tracer().Record(obs::TraceEventType::kReplayEnd,
                         env_->NowModelMs(), config_.id, s->id, /*seqno=*/0,
                         "replayed=" + std::to_string(requests_replayed));
   {
-    std::lock_guard<std::mutex> lk(timeline_mu_);
+    audit::LockGuard lk(timeline_mu_);
     last_recovery_timeline_.session_replays.push_back(
         {s->id, replay_ms, requests_replayed, rounds, from_crash, st.ok()});
   }
@@ -325,13 +336,13 @@ Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
                            s->buffered_reply.payload, s->buffered_reply.seqno);
     if (rst.IsOrphan()) {
       // Rare: orphaned between the convergence check and the resend flush.
-      std::lock_guard<std::mutex> lk(sessions_mu_);
+      audit::LockGuard lk(sessions_mu_);
       s->needs_orphan_check = true;
     }
   }
   bool arm = false;
   {
-    std::lock_guard<std::mutex> lk(sessions_mu_);
+    audit::LockGuard lk(sessions_mu_);
     s->recovering = false;
     if ((!s->pending_requests.empty() || s->needs_orphan_check ||
          s->needs_checkpoint) &&
@@ -377,7 +388,7 @@ Status Msp::ReplayOnce(Session* s, uint64_t* replayed_out) {
       continue;
     }
     if (rec.type == LogRecordType::kSessionEnd) {
-      std::lock_guard<std::mutex> lk(sessions_mu_);
+      audit::LockGuard lk(sessions_mu_);
       s->ended = true;
       return Status::OK();
     }
@@ -439,7 +450,7 @@ void Msp::OrphanCut(Session* s, uint64_t orphan_lsn) {
   env_->tracer().Record(obs::TraceEventType::kOrphanCut, env_->NowModelMs(),
                         config_.id, s->id, /*seqno=*/0,
                         "orphan_lsn=" + std::to_string(orphan_lsn));
-  std::lock_guard<std::mutex> lk(timeline_mu_);
+  audit::LockGuard lk(timeline_mu_);
   ++last_recovery_timeline_.orphan_events;
 }
 

@@ -1,16 +1,17 @@
+#include "audit/mutex.h"
 #include "msp/service_domain.h"
 
 namespace msplog {
 
 void DomainDirectory::Assign(const std::string& msp,
                              const std::string& domain) {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   domain_of_[msp] = domain;
 }
 
 std::optional<std::string> DomainDirectory::DomainOf(
     const std::string& id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   auto it = domain_of_.find(id);
   if (it == domain_of_.end()) return std::nullopt;
   return it->second;
@@ -18,7 +19,7 @@ std::optional<std::string> DomainDirectory::DomainOf(
 
 bool DomainDirectory::SameDomain(const std::string& a,
                                  const std::string& b) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   auto ia = domain_of_.find(a);
   auto ib = domain_of_.find(b);
   if (ia == domain_of_.end() || ib == domain_of_.end()) return false;
@@ -26,7 +27,7 @@ bool DomainDirectory::SameDomain(const std::string& a,
 }
 
 std::vector<std::string> DomainDirectory::PeersOf(const std::string& id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   std::vector<std::string> out;
   auto it = domain_of_.find(id);
   if (it == domain_of_.end()) return out;

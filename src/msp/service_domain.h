@@ -6,10 +6,11 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "audit/mutex.h"
 
 namespace msplog {
 
@@ -29,7 +30,7 @@ class DomainDirectory {
   std::vector<std::string> PeersOf(const std::string& id) const;
 
  private:
-  mutable std::mutex mu_;
+  mutable audit::Mutex mu_{"service_domain"};
   std::map<std::string, std::string> domain_of_;
 };
 

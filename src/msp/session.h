@@ -60,6 +60,10 @@ class Session {
 
   // ---- recovery bookkeeping ----
   DependencyVector dv;       ///< per-session DV (§3.2), includes self entry
+  /// Auditor shadow of `dv` as of the last request boundary (or replay
+  /// end). The dv-monotonic invariant check compares against it on the next
+  /// request: outside recovery, a DV may only grow (audit/invariants.h).
+  DependencyVector audit_shadow_dv;
   uint64_t state_number = 0; ///< LSN of this session's most recent log record
   /// first_lsn / last_checkpoint_lsn are read by the fuzzy MSP checkpoint
   /// without owning the session, hence atomic.

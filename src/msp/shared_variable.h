@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <shared_mutex>
 #include <string>
 
+#include "audit/mutex.h"
 #include "common/bytes.h"
 #include "recovery/dependency_vector.h"
 
@@ -35,7 +35,7 @@ class SharedVariable {
   uint32_t writes_since_cp = 0;
   uint32_t msp_cps_since_cp = 0;
 
-  std::shared_mutex rw;
+  audit::SharedMutex rw{"shared_var.rw"};
 };
 
 }  // namespace msplog

@@ -1,3 +1,4 @@
+#include "audit/mutex.h"
 #include "msp/thread_pool.h"
 
 namespace msplog {
@@ -13,7 +14,7 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    audit::LockGuard lk(mu_);
     if (stop_) return false;
     queue_.push_back(std::move(task));
   }
@@ -23,7 +24,7 @@ bool ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    audit::LockGuard lk(mu_);
     if (stop_) return;
     stop_ = true;
   }
@@ -35,7 +36,7 @@ void ThreadPool::Shutdown() {
 
 void ThreadPool::Abort() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    audit::LockGuard lk(mu_);
     if (!stop_) {
       stop_ = true;
       discard_ = true;
@@ -49,7 +50,7 @@ void ThreadPool::Abort() {
 }
 
 size_t ThreadPool::queued() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   return queue_.size();
 }
 
@@ -57,7 +58,7 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
+      audit::UniqueLock lk(mu_);
       cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and drained (or discarded)
       if (discard_) return;

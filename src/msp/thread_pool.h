@@ -3,12 +3,12 @@
 // (§4.3, "recover sessions in parallel").
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "audit/mutex.h"
 
 namespace msplog {
 
@@ -37,8 +37,8 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable audit::Mutex mu_{"thread_pool"};
+  audit::CondVar cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   bool discard_ = false;

@@ -1,3 +1,4 @@
+#include "audit/mutex.h"
 #include "obs/metrics.h"
 
 #include <algorithm>
@@ -142,21 +143,21 @@ std::string SnapshotJson(const Histogram::Snapshot& s) {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -164,7 +165,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 
 MetricsRegistry::RegistrySnapshot MetricsRegistry::Snap() const {
   RegistrySnapshot out;
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   for (const auto& [name, c] : counters_) out.counters[name] = c->Value();
   for (const auto& [name, g] : gauges_) out.gauges[name] = g->Value();
   for (const auto& [name, h] : histograms_) out.histograms[name] = h->Snap();

@@ -24,9 +24,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "audit/mutex.h"
 
 namespace msplog {
 namespace obs {
@@ -130,7 +131,7 @@ class MetricsRegistry {
   std::string ToJson() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable audit::Mutex mu_{"obs.metrics"};
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -1,3 +1,4 @@
+#include "audit/mutex.h"
 #include "obs/trace.h"
 
 #include <algorithm>
@@ -83,7 +84,7 @@ void EventTracer::Record(TraceEventType type, double model_ms,
   size_t idx = std::hash<std::thread::id>{}(std::this_thread::get_id()) %
                stripes_.size();
   Stripe& st = *stripes_[idx];
-  std::lock_guard<std::mutex> lk(st.mu);
+  audit::LockGuard lk(st.mu);
   st.total++;
   if (st.ring.size() < per_stripe_) {
     st.ring.push_back(std::move(e));
@@ -96,7 +97,7 @@ void EventTracer::Record(TraceEventType type, double model_ms,
 std::vector<TraceEvent> EventTracer::Events() const {
   std::vector<TraceEvent> out;
   for (const auto& sp : stripes_) {
-    std::lock_guard<std::mutex> lk(sp->mu);
+    audit::LockGuard lk(sp->mu);
     out.insert(out.end(), sp->ring.begin(), sp->ring.end());
   }
   std::sort(out.begin(), out.end(),
@@ -109,7 +110,7 @@ std::vector<TraceEvent> EventTracer::Events() const {
 uint64_t EventTracer::dropped() const {
   uint64_t d = 0;
   for (const auto& sp : stripes_) {
-    std::lock_guard<std::mutex> lk(sp->mu);
+    audit::LockGuard lk(sp->mu);
     d += sp->total - sp->ring.size();
   }
   return d;
@@ -117,7 +118,7 @@ uint64_t EventTracer::dropped() const {
 
 void EventTracer::Clear() {
   for (const auto& sp : stripes_) {
-    std::lock_guard<std::mutex> lk(sp->mu);
+    audit::LockGuard lk(sp->mu);
     sp->ring.clear();
     sp->next = 0;
     sp->total = 0;

@@ -20,9 +20,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "audit/mutex.h"
 
 namespace msplog {
 namespace obs {
@@ -83,7 +84,7 @@ class EventTracer {
 
  private:
   struct Stripe {
-    mutable std::mutex mu;
+    mutable audit::Mutex mu{"obs.trace_stripe"};
     std::vector<TraceEvent> ring;  ///< ring buffer, capacity per_stripe_
     size_t next = 0;               ///< overwrite cursor once full
     uint64_t total = 0;            ///< events ever recorded on this stripe

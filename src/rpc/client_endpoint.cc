@@ -9,7 +9,7 @@ namespace {
 /// With scale 0 latency is off; a small real floor keeps loops cool without
 /// slowing tests meaningfully.
 int64_t RealWaitMs(const SimEnvironment* env, double model_ms) {
-  if (env->time_scale() <= 0.0) return 2;
+  if (env->time_scale() <= 0.0) return SimEnvironment::kFastWaitFloorMs;
   return std::max<int64_t>(1,
       static_cast<int64_t>(model_ms * env->time_scale()));
 }

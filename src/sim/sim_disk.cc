@@ -1,3 +1,4 @@
+#include "audit/mutex.h"
 #include "sim/sim_disk.h"
 
 #include <algorithm>
@@ -20,13 +21,13 @@ void SimDisk::ChargeWrite(uint64_t bytes) {
   if (!charge_latency_) return;
   double ms = geometry_.WriteLatencyMs(sectors);
   {
-    std::lock_guard<std::mutex> lk(rng_mu_);
+    audit::LockGuard lk(rng_mu_);
     if (rng_.Chance(geometry_.os_interference_prob)) {
       ms += geometry_.write_avg_seek_ms;
     }
   }
   hist_write_ms_->Record(ms);
-  std::lock_guard<std::mutex> io(io_mu_);
+  audit::LockGuard io(io_mu_);
   env_->SleepModelMs(ms);
 }
 
@@ -39,13 +40,13 @@ void SimDisk::ChargeRead(uint64_t bytes) {
   if (!charge_latency_) return;
   double ms = geometry_.ReadLatencyMs(sectors);
   {
-    std::lock_guard<std::mutex> lk(rng_mu_);
+    audit::LockGuard lk(rng_mu_);
     if (rng_.Chance(geometry_.os_interference_prob)) {
       ms += geometry_.read_avg_seek_ms;
     }
   }
   hist_read_ms_->Record(ms);
-  std::lock_guard<std::mutex> io(io_mu_);
+  audit::LockGuard io(io_mu_);
   env_->SleepModelMs(ms);
 }
 
@@ -56,7 +57,7 @@ void SimDisk::Barrier(uint64_t sectors) {
 Status SimDisk::WriteAt(const std::string& file, uint64_t offset,
                         ByteView data) {
   ChargeWrite(data.size());
-  std::lock_guard<std::mutex> lk(state_mu_);
+  audit::LockGuard lk(state_mu_);
   Bytes& f = files_[file];
   if (f.size() < offset) f.resize(offset, '\0');
   if (f.size() < offset + data.size()) f.resize(offset + data.size(), '\0');
@@ -67,7 +68,7 @@ Status SimDisk::WriteAt(const std::string& file, uint64_t offset,
 
 Status SimDisk::Append(const std::string& file, ByteView data) {
   ChargeWrite(data.size());
-  std::lock_guard<std::mutex> lk(state_mu_);
+  audit::LockGuard lk(state_mu_);
   Bytes& f = files_[file];
   f.append(data.data(), data.size());
   env_->stats().disk_bytes_written.fetch_add(data.size());
@@ -77,7 +78,7 @@ Status SimDisk::Append(const std::string& file, ByteView data) {
 Status SimDisk::ReadAt(const std::string& file, uint64_t offset, uint64_t n,
                        Bytes* out) {
   {
-    std::lock_guard<std::mutex> lk(state_mu_);
+    audit::LockGuard lk(state_mu_);
     auto it = files_.find(file);
     if (it == files_.end()) return Status::NotFound("no such file: " + file);
     const Bytes& f = it->second;
@@ -94,7 +95,7 @@ Status SimDisk::ReadAt(const std::string& file, uint64_t offset, uint64_t n,
 
 Status SimDisk::Truncate(const std::string& file, uint64_t size) {
   ChargeWrite(1);
-  std::lock_guard<std::mutex> lk(state_mu_);
+  audit::LockGuard lk(state_mu_);
   Bytes& f = files_[file];
   f.resize(size, '\0');
   return Status::OK();
@@ -103,7 +104,7 @@ Status SimDisk::Truncate(const std::string& file, uint64_t size) {
 Status SimDisk::PunchHole(const std::string& file, uint64_t offset,
                           uint64_t length) {
   ChargeWrite(1);
-  std::lock_guard<std::mutex> lk(state_mu_);
+  audit::LockGuard lk(state_mu_);
   auto it = files_.find(file);
   if (it == files_.end()) return Status::NotFound("no such file: " + file);
   Bytes& f = it->second;
@@ -115,7 +116,7 @@ Status SimDisk::PunchHole(const std::string& file, uint64_t offset,
 }
 
 Status SimDisk::Delete(const std::string& file) {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  audit::LockGuard lk(state_mu_);
   auto it = files_.find(file);
   if (it == files_.end()) return Status::NotFound("no such file: " + file);
   files_.erase(it);
@@ -123,18 +124,18 @@ Status SimDisk::Delete(const std::string& file) {
 }
 
 bool SimDisk::Exists(const std::string& file) const {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  audit::LockGuard lk(state_mu_);
   return files_.count(file) > 0;
 }
 
 uint64_t SimDisk::FileSize(const std::string& file) const {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  audit::LockGuard lk(state_mu_);
   auto it = files_.find(file);
   return it == files_.end() ? 0 : it->second.size();
 }
 
 std::vector<std::string> SimDisk::ListFiles() const {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  audit::LockGuard lk(state_mu_);
   std::vector<std::string> out;
   out.reserve(files_.size());
   for (const auto& [k, v] : files_) out.push_back(k);
@@ -142,7 +143,7 @@ std::vector<std::string> SimDisk::ListFiles() const {
 }
 
 void SimDisk::Format() {
-  std::lock_guard<std::mutex> lk(state_mu_);
+  audit::LockGuard lk(state_mu_);
   files_.clear();
 }
 

@@ -19,10 +19,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "audit/mutex.h"
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -120,11 +120,11 @@ class SimDisk {
   obs::Histogram* hist_write_ms_;
   obs::Histogram* hist_read_ms_;
 
-  mutable std::mutex state_mu_;  ///< guards files_
-  std::mutex io_mu_;             ///< held across latency sleeps: one I/O at a time
+  mutable audit::Mutex state_mu_{"sim_disk.state"};  ///< guards files_
+  audit::Mutex io_mu_{"sim_disk.io"};             ///< held across latency sleeps: one I/O at a time
   std::map<std::string, Bytes> files_;
   Rng rng_;
-  std::mutex rng_mu_;
+  audit::Mutex rng_mu_{"sim_disk.rng"};
 };
 
 }  // namespace msplog

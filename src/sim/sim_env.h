@@ -109,6 +109,24 @@ class SimEnvironment {
   /// Returns elapsed real ms when the scale is zero.
   double NowModelMs() const;
 
+  /// Wall-clock floor (ms) for lost-message timeouts when time_scale is 0
+  /// ("as fast as possible"). The floor must outlast a healthy peer's
+  /// round trip, or resends fire spuriously and corrupt exact-count
+  /// expectations; sanitizer instrumentation slows everything ~10-20x, so
+  /// instrumented builds get a proportionally larger floor.
+  static constexpr int64_t kFastWaitFloorMs =
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+      40;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+      40;
+#else
+      2;
+#endif
+#else
+      2;
+#endif
+
   SimStats& stats() { return stats_; }
   const SimStats& stats() const { return stats_; }
 

@@ -1,3 +1,4 @@
+#include "audit/mutex.h"
 #include "sim/sim_network.h"
 
 #include <algorithm>
@@ -5,7 +6,7 @@
 namespace msplog {
 
 bool Mailbox::Pop(Packet* out) {
-  std::unique_lock<std::mutex> lk(mu_);
+  audit::UniqueLock lk(mu_);
   cv_.wait(lk, [&] { return closed_ || !queue_.empty(); });
   if (queue_.empty()) return false;
   *out = std::move(queue_.front());
@@ -14,7 +15,7 @@ bool Mailbox::Pop(Packet* out) {
 }
 
 bool Mailbox::PopWithTimeout(Packet* out, int64_t timeout_real_ms) {
-  std::unique_lock<std::mutex> lk(mu_);
+  audit::UniqueLock lk(mu_);
   cv_.wait_for(lk, std::chrono::milliseconds(timeout_real_ms),
                [&] { return closed_ || !queue_.empty(); });
   if (queue_.empty()) return false;
@@ -24,26 +25,26 @@ bool Mailbox::PopWithTimeout(Packet* out, int64_t timeout_real_ms) {
 }
 
 void Mailbox::Push(Packet p) {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   if (closed_) return;
   queue_.push_back(std::move(p));
   cv_.notify_all();
 }
 
 void Mailbox::Close() {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   closed_ = true;
   queue_.clear();
   cv_.notify_all();
 }
 
 bool Mailbox::closed() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   return closed_;
 }
 
 size_t Mailbox::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   return queue_.size();
 }
 
@@ -57,25 +58,25 @@ SimNetwork::~SimNetwork() { Shutdown(); }
 
 void SimNetwork::Shutdown() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    audit::LockGuard lk(mu_);
     if (stop_) return;
     stop_ = true;
     cv_.notify_all();
   }
   if (delivery_thread_.joinable()) delivery_thread_.join();
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   for (auto& [name, mb] : endpoints_) mb->Close();
 }
 
 std::shared_ptr<Mailbox> SimNetwork::Register(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   auto mb = std::make_shared<Mailbox>();
   endpoints_[name] = mb;
   return mb;
 }
 
 void SimNetwork::Unregister(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   auto it = endpoints_.find(name);
   if (it != endpoints_.end()) {
     it->second->Close();
@@ -91,7 +92,7 @@ const FaultPlan& SimNetwork::FaultsFor(const std::string& from,
 
 double SimNetwork::OneWayMs(const std::string& a, const std::string& b,
                             size_t bytes) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   double latency = default_one_way_ms_;
   auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   auto it = link_latency_.find(key);
@@ -104,19 +105,19 @@ double SimNetwork::OneWayMs(const std::string& a, const std::string& b,
 
 void SimNetwork::SetLinkLatency(const std::string& a, const std::string& b,
                                 double one_way_ms) {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   link_latency_[key] = one_way_ms;
 }
 
 void SimNetwork::SetFaults(const std::string& from, const std::string& to,
                            FaultPlan plan) {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   faults_[{from, to}] = plan;
 }
 
 void SimNetwork::ClearFaults() {
-  std::lock_guard<std::mutex> lk(mu_);
+  audit::LockGuard lk(mu_);
   faults_.clear();
   default_faults_ = FaultPlan();
 }
@@ -129,7 +130,7 @@ void SimNetwork::Send(const std::string& from, const std::string& to,
   double delay_ms = OneWayMs(from, to, wire.size());
   int copies = 1;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    audit::LockGuard lk(mu_);
     const FaultPlan& plan = FaultsFor(from, to);
     if (plan.drop_prob > 0 && rng_.Chance(plan.drop_prob)) {
       env_->stats().messages_dropped.fetch_add(1);
@@ -155,7 +156,7 @@ void SimNetwork::Send(const std::string& from, const std::string& to,
     }
     uint64_t due = env_->ElapsedRealNs() +
                    static_cast<uint64_t>(delay_ms * scale * 1e6);
-    std::lock_guard<std::mutex> lk(mu_);
+    audit::LockGuard lk(mu_);
     schedule_.push(Scheduled{due, next_seq_++, std::move(copy)});
     cv_.notify_all();
   }
@@ -164,7 +165,7 @@ void SimNetwork::Send(const std::string& from, const std::string& to,
 void SimNetwork::Deliver(Packet p) {
   std::shared_ptr<Mailbox> mb;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    audit::LockGuard lk(mu_);
     auto it = endpoints_.find(p.to);
     if (it == endpoints_.end()) return;  // dead host: packet lost
     mb = it->second;
@@ -173,7 +174,7 @@ void SimNetwork::Deliver(Packet p) {
 }
 
 void SimNetwork::DeliveryLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  audit::UniqueLock lk(mu_);
   while (!stop_) {
     if (schedule_.empty()) {
       cv_.wait(lk, [&] { return stop_ || !schedule_.empty(); });

@@ -11,17 +11,16 @@
 // apply), so unit tests of the retry logic run instantly.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "audit/mutex.h"
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -52,8 +51,8 @@ class Mailbox {
   size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable audit::Mutex mu_{"mailbox"};
+  audit::CondVar cv_;
   std::deque<Packet> queue_;
   bool closed_ = false;
 };
@@ -125,8 +124,8 @@ class SimNetwork {
   double bandwidth_mbps_ = 100.0;
   FaultPlan default_faults_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable audit::Mutex mu_{"sim_network"};
+  audit::CondVar cv_;
   bool stop_ = false;
   uint64_t next_seq_ = 0;
   std::map<std::string, std::shared_ptr<Mailbox>> endpoints_;

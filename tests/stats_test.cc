@@ -306,6 +306,16 @@ TEST_F(StatsTest, TracerRecordsExactLifecycleForOneRequest) {
   // Warm up: session creation and recovery-time events are not part of the
   // steady-state per-request chain.
   ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  // The client can get the reply before the worker records kReplySent; wait
+  // for the warm-up chain to drain so Clear() cannot race with its tail.
+  {
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      auto ev = EventsForActors(env_.tracer(), "alpha", "alpha.log");
+      if (!ev.empty() && ev.back().type == TraceEventType::kReplySent) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
   env_.tracer().Clear();
   ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
 
