@@ -30,6 +30,7 @@ struct Measurement {
   obs::Histogram::Snapshot queue_wait;
   obs::Histogram::Snapshot execute;
   obs::Histogram::Snapshot flush_wait;
+  uint64_t tracer_dropped = 0;
 };
 
 Measurement Measure(PaperConfig config, int calls_per_request,
@@ -55,6 +56,7 @@ Measurement Measure(PaperConfig config, int calls_per_request,
   out.queue_wait = m.GetHistogram("msp.queue_wait_ms")->Snap().Delta(q0);
   out.execute = m.GetHistogram("msp.execute_ms")->Snap().Delta(e0);
   out.flush_wait = m.GetHistogram("msp.flush_wait_ms")->Snap().Delta(f0);
+  out.tracer_dropped = w.env()->tracer().dropped();
   w.Shutdown();
   return out;
 }
@@ -74,6 +76,7 @@ void Emit(PaperConfig config, int m, const Measurement& meas) {
       .Add("queue_wait", meas.queue_wait)
       .Add("execute", meas.execute)
       .Add("flush_wait", meas.flush_wait);
+  bench::AddTracerHealth(&j, meas.tracer_dropped);
   bench::EmitJson("fig14_response_time", j);
 }
 

@@ -24,6 +24,7 @@ struct Point {
   uint64_t replayed = 0;
   uint64_t reclaimed = 0;
   uint64_t log_bytes = 0;
+  uint64_t tracer_dropped = 0;
   obs::RecoveryTimeline timeline;
 };
 
@@ -57,6 +58,7 @@ Point Measure(uint64_t threshold) {
   p.replayed =
       w.env()->stats().requests_replayed.load() - replayed_before;
   p.reclaimed = w.env()->stats().disk_bytes_reclaimed.load();
+  p.tracer_dropped = w.env()->tracer().dropped();
   w.Shutdown();
   return p;
 }
@@ -95,6 +97,7 @@ void Run() {
         .Add("replayed", results[i].replayed)
         .Add("reclaimed_bytes", results[i].reclaimed)
         .AddRaw("timeline", tl.ToJson());
+    bench::AddTracerHealth(&j, results[i].tracer_dropped);
     bench::EmitJson("recovery_time", j);
   }
   table.Print();

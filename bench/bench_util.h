@@ -121,6 +121,22 @@ class Json {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// Fold event-tracer ring health into a BENCH_JSON body: the drop count
+/// always, plus an explicit warning field (and a stderr note) when the ring
+/// overflowed — a dropped-event trace is silently truncated and should not
+/// be trusted as a complete causal record.
+inline void AddTracerHealth(Json* j, uint64_t dropped) {
+  j->Add("tracer_dropped", dropped);
+  if (dropped > 0) {
+    j->Add("tracer_warning",
+           "event tracer ring overflowed; trace dump is truncated");
+    fprintf(stderr,
+            "WARNING: event tracer dropped %llu events (ring overflow); "
+            "trace dump is truncated\n",
+            static_cast<unsigned long long>(dropped));
+  }
+}
+
 /// Print the canonical machine-readable line for bench `name`.
 inline void EmitJson(const std::string& name, const Json& body) {
   Json wrapped;

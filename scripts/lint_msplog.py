@@ -25,6 +25,10 @@ Checks enforced over src/ (stdlib only, no third-party deps):
                        carry `audit:allow(blocking-under-lock)`.
   include-hygiene      no `#include "../..."` — project includes are rooted
                        at src/.
+  obs-layering         src/obs must not include sim/ or msp/ headers: the
+                       observability layer is dependency-free so every other
+                       layer (including sim/ itself) can use it without
+                       cycles.
 
 Exit status: 0 clean, 1 findings (one `file:line: [check] message` per line).
 """
@@ -45,6 +49,7 @@ NAKED_DELETE = re.compile(r"(^|[^_\w.])delete(\[\])?\s+[A-Za-z_*(]")
 NONDET = re.compile(
     r"(^|[^_\w])(rand|srand)\s*\(|std::(random_device|mt19937)")
 PARENT_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
+OBS_FORBIDDEN_INCLUDE = re.compile(r'#\s*include\s*"(sim|msp)/')
 
 GUARD_DECL = re.compile(
     r"\b(?:audit::(?:LockGuard|UniqueLock|SharedLock|SharedUniqueLock)|"
@@ -156,6 +161,12 @@ def lint_file(path, findings):
             findings.append(
                 f"{rel}:{lineno}: [include-hygiene] parent-relative "
                 "include; include paths are rooted at src/")
+
+        if rel.startswith("src/obs/") and \
+                OBS_FORBIDDEN_INCLUDE.search(raw_line):
+            findings.append(
+                f"{rel}:{lineno}: [obs-layering] src/obs must not include "
+                "sim/ or msp/ headers (obs is dependency-free)")
 
         # --- blocking-under-lock token scan ---------------------------------
         if not in_sim:

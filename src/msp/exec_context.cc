@@ -221,7 +221,7 @@ Status ExecContext::Call(const std::string& target_msp,
       return Status::OK();
     }
   }
-  return msp_->OutgoingCallImpl(s_, target_msp, method, arg, reply);
+  return msp_->OutgoingCallImpl(s_, target_msp, method, arg, reply, span_);
 }
 
 void ExecContext::Compute(double model_ms) {

@@ -42,6 +42,8 @@ class ReplayCursor {
   Status Peek(LogRecord* out);
   void Skip();
   uint64_t CurrentLsn() const { return positions_[idx_]; }
+  /// Number of positions consumed (Skipped) so far — replay provenance.
+  size_t consumed() const { return idx_; }
 
  private:
   Status ReadDurable(uint64_t lsn, LogRecord* out);
@@ -61,12 +63,13 @@ class ExecContext : public ServiceContext {
   enum class Mode { kNormal, kReplay };
 
   ExecContext(Msp* msp, Session* s, Mode mode, uint64_t seqno,
-              ReplayCursor* cursor = nullptr)
+              ReplayCursor* cursor = nullptr, obs::SpanContext span = {})
       : msp_(msp),
         s_(s),
         mode_(mode),
         seqno_(seqno),
         cursor_(cursor),
+        span_(span),
         live_(mode == Mode::kNormal) {}
 
   // ---- ServiceContext ----
@@ -89,6 +92,9 @@ class ExecContext : public ServiceContext {
   /// True once a replaying context has crossed into live execution.
   bool switched_live() const { return mode_ == Mode::kReplay && live_; }
 
+  /// The request span this execution runs under (invalid when untraced).
+  const obs::SpanContext& span() const { return span_; }
+
  private:
   /// Decide how a replay-mode operation proceeds:
   ///  - returns OK with *run_live=false and *rec filled: consume the logged
@@ -105,6 +111,7 @@ class ExecContext : public ServiceContext {
   Mode mode_;
   uint64_t seqno_;
   ReplayCursor* cursor_;
+  obs::SpanContext span_;
   bool live_;
 };
 

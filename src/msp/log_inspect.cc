@@ -1,0 +1,250 @@
+#include "msp/log_inspect.h"
+
+#include <algorithm>
+
+#include "log/log_record.h"
+#include "log/log_scanner.h"
+#include "msp/msp_checkpoint_format.h"
+#include "msp/session.h"
+#include "obs/metrics.h"  // JsonEscape
+
+namespace msplog {
+
+namespace {
+
+/// One EOS-cut range: records of `session` with lsn in [lo, hi] were made
+/// invisible by an orphan cut (§4.1) and are exempt from the per-session
+/// seqno monotonicity check.
+struct CutRange {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+};
+
+struct RequestRef {
+  uint64_t seqno = 0;
+  uint64_t lsn = 0;
+};
+
+std::string Lsn(uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string LogInspectReport::Summary() const {
+  std::string out;
+  out += "records: " + std::to_string(records);
+  out += "  lsn range: [" + Lsn(first_lsn) + ", " + Lsn(last_lsn) + "]";
+  out += "  image bytes: " + std::to_string(image_bytes) + "\n";
+  out += "by type:\n";
+  for (const auto& [type, n] : records_by_type) {
+    out += "  " + type + ": " + std::to_string(n) + "\n";
+  }
+  out += "sessions: " + std::to_string(records_by_session.size());
+  out += "  session checkpoints: " + std::to_string(session_checkpoints);
+  out += "  shared-var checkpoints: " + std::to_string(shared_var_checkpoints);
+  out += "  msp checkpoints: " + std::to_string(msp_checkpoints) + "\n";
+  if (torn_tail) {
+    out += "torn tail at lsn " + Lsn(torn_tail_lsn) +
+           " (normal after a crash)\n";
+  }
+  if (invariant_violations.empty()) {
+    out += "invariants: OK\n";
+  } else {
+    out += "invariants: " + std::to_string(invariant_violations.size()) +
+           " VIOLATION(S)\n";
+    for (const auto& v : invariant_violations) out += "  ! " + v + "\n";
+  }
+  return out;
+}
+
+std::string LogInspectReport::ToJson() const {
+  std::string out = "{";
+  out += "\"records\":" + std::to_string(records);
+  out += ",\"first_lsn\":" + Lsn(first_lsn);
+  out += ",\"last_lsn\":" + Lsn(last_lsn);
+  out += ",\"image_bytes\":" + std::to_string(image_bytes);
+  out += ",\"by_type\":{";
+  bool first = true;
+  for (const auto& [type, n] : records_by_type) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::JsonEscape(type) + "\":" + std::to_string(n);
+  }
+  out += "},\"sessions\":" + std::to_string(records_by_session.size());
+  out += ",\"session_checkpoints\":" + std::to_string(session_checkpoints);
+  out += ",\"shared_var_checkpoints\":" +
+         std::to_string(shared_var_checkpoints);
+  out += ",\"msp_checkpoints\":" + std::to_string(msp_checkpoints);
+  out += ",\"torn_tail\":" + std::string(torn_tail ? "true" : "false");
+  out += ",\"torn_tail_lsn\":" + Lsn(torn_tail_lsn);
+  out += ",\"invariant_violations\":[";
+  first = true;
+  for (const auto& v : invariant_violations) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + obs::JsonEscape(v) + "\"";
+  }
+  out += "]}";
+  return out;
+}
+
+Status InspectLogImage(SimDisk* disk, const std::string& file,
+                       const LogInspectOptions& opts, LogInspectReport* report,
+                       std::string* dump_text) {
+  *report = LogInspectReport();
+  const uint64_t durable = disk->FileSize(file);
+  report->image_bytes = durable;
+  if (durable == 0) {
+    return Status::NotFound("log image '" + file + "' is missing or empty");
+  }
+
+  // A throwaway session holds checkpoint blobs while they are validated;
+  // its position stream targets a scratch file that is never written.
+  Session scratch("inspect", "inspect", disk, "inspect/scratch-positions");
+
+  std::map<std::string, std::vector<RequestRef>> requests;
+  std::map<std::string, std::vector<CutRange>> cuts;
+
+  uint64_t prev_record_lsn = 0;
+  bool have_prev = false;
+
+  LogScanner scanner(disk, file, /*start_lsn=*/0, durable);
+  while (true) {
+    LogRecord rec;
+    Status st = scanner.Next(&rec);
+    if (st.IsNotFound()) break;  // clean end
+    if (st.IsCorruption()) {
+      report->torn_tail = true;
+      report->torn_tail_lsn = scanner.next_lsn();
+      break;
+    }
+    MSPLOG_RETURN_IF_ERROR(st);
+
+    ++report->records;
+    if (report->records == 1) report->first_lsn = rec.lsn;
+    report->last_lsn = rec.lsn;
+    report->records_by_type[LogRecordTypeName(rec.type)]++;
+    if (!rec.session_id.empty()) report->records_by_session[rec.session_id]++;
+
+    if (have_prev && rec.lsn <= prev_record_lsn) {
+      report->invariant_violations.push_back(
+          "lsn not increasing: " + Lsn(rec.lsn) + " after " +
+          Lsn(prev_record_lsn));
+    }
+    prev_record_lsn = rec.lsn;
+    have_prev = true;
+
+    switch (rec.type) {
+      case LogRecordType::kRequestReceive:
+        requests[rec.session_id].push_back({rec.seqno, rec.lsn});
+        break;
+      case LogRecordType::kSharedWrite:
+        if (rec.prev_lsn != 0 && rec.prev_lsn >= rec.lsn) {
+          report->invariant_violations.push_back(
+              "shared-write chain not backward: prev_lsn " +
+              Lsn(rec.prev_lsn) + " >= lsn " + Lsn(rec.lsn) + " (var " +
+              rec.var_id + ")");
+        }
+        break;
+      case LogRecordType::kEos:
+        if (rec.prev_lsn > rec.lsn) {
+          report->invariant_violations.push_back(
+              "eos points forward: prev_lsn " + Lsn(rec.prev_lsn) +
+              " > lsn " + Lsn(rec.lsn));
+        } else {
+          cuts[rec.session_id].push_back({rec.prev_lsn, rec.lsn});
+        }
+        break;
+      case LogRecordType::kSessionCheckpoint: {
+        ++report->session_checkpoints;
+        Status dst = scratch.DecodeCheckpoint(rec.payload);
+        if (!dst.ok()) {
+          report->invariant_violations.push_back(
+              "session checkpoint at " + Lsn(rec.lsn) +
+              " does not decode: " + dst.ToString());
+        } else if (opts.dump_checkpoints && dump_text) {
+          *dump_text += "  checkpoint session=" + rec.session_id +
+                        " state_number=" + Lsn(scratch.state_number) +
+                        " next_seqno=" +
+                        std::to_string(scratch.next_expected_seqno) +
+                        " vars=" + std::to_string(scratch.vars.size()) +
+                        " outgoing=" + std::to_string(scratch.outgoing.size()) +
+                        "\n";
+        }
+        break;
+      }
+      case LogRecordType::kSharedVarCheckpoint:
+        ++report->shared_var_checkpoints;
+        break;
+      case LogRecordType::kMspCheckpoint: {
+        ++report->msp_checkpoints;
+        MspCheckpointData data;
+        Status dst = data.Decode(rec.payload);
+        if (!dst.ok()) {
+          report->invariant_violations.push_back(
+              "msp checkpoint at " + Lsn(rec.lsn) +
+              " does not decode: " + dst.ToString());
+        } else {
+          uint64_t min_lsn = data.MinRecoveryLsn(rec.lsn);
+          if (min_lsn > rec.lsn) {
+            report->invariant_violations.push_back(
+                "msp checkpoint at " + Lsn(rec.lsn) +
+                " implies scan start " + Lsn(min_lsn) + " beyond itself");
+          }
+          if (opts.dump_checkpoints && dump_text) {
+            *dump_text += "  msp checkpoint sessions=" +
+                          std::to_string(data.sessions.size()) +
+                          " vars=" + std::to_string(data.vars.size()) +
+                          " min_recovery_lsn=" + Lsn(min_lsn) + "\n";
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+
+    if (opts.dump_records && dump_text) {
+      // A record returned by the scanner passed its frame CRC.
+      *dump_text += Lsn(rec.lsn) + " " +
+                    std::string(LogRecordTypeName(rec.type));
+      if (!rec.session_id.empty()) *dump_text += " session=" + rec.session_id;
+      if (!rec.var_id.empty()) *dump_text += " var=" + rec.var_id;
+      if (rec.seqno != 0) *dump_text += " seqno=" + std::to_string(rec.seqno);
+      if (rec.prev_lsn != 0) *dump_text += " prev_lsn=" + Lsn(rec.prev_lsn);
+      if (rec.has_dv) *dump_text += " dv";
+      *dump_text += " payload=" + std::to_string(rec.payload.size()) +
+                    "B crc=ok\n";
+    }
+  }
+
+  // Per-session request seqnos never decrease in log order — except records
+  // an EOS cut made invisible, which resent requests may legitimately
+  // shadow with equal or lower seqnos.
+  for (const auto& [session, refs] : requests) {
+    const auto cit = cuts.find(session);
+    uint64_t prev_seqno = 0;
+    uint64_t prev_lsn = 0;
+    for (const RequestRef& ref : refs) {
+      if (cit != cuts.end()) {
+        bool in_cut = std::any_of(
+            cit->second.begin(), cit->second.end(), [&](const CutRange& c) {
+              return ref.lsn >= c.lo && ref.lsn <= c.hi;
+            });
+        if (in_cut) continue;
+      }
+      if (ref.seqno < prev_seqno) {
+        report->invariant_violations.push_back(
+            "session " + session + ": request seqno " +
+            std::to_string(ref.seqno) + " at lsn " + Lsn(ref.lsn) +
+            " after seqno " + std::to_string(prev_seqno) + " at lsn " +
+            Lsn(prev_lsn));
+      }
+      prev_seqno = ref.seqno;
+      prev_lsn = ref.lsn;
+    }
+  }
+
+  return Status::OK();
+}
+
+}  // namespace msplog

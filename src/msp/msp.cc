@@ -306,9 +306,17 @@ void Msp::HandleRequestMsg(Message m) {
       busy = true;  // §5.4: client sleeps 100 ms and resends
     } else {
       double now_ms = env_->NowModelMs();
+      // Allocate this request's server-side span, parented on the span the
+      // sender stamped on the wire (client root or caller's request span).
+      obs::SpanContext span;
+      if (m.trace_id != 0) {
+        span.trace_id = m.trace_id;
+        span.span_id = obs::NextSpanId();
+        span.parent_span_id = m.parent_span_id;
+      }
       env_->tracer().Record(obs::TraceEventType::kEnqueue, now_ms, config_.id,
-                            m.session_id, m.seqno, m.method);
-      s->pending_requests.push_back({std::move(m), now_ms});
+                            m.session_id, m.seqno, m.method, span);
+      s->pending_requests.push_back({std::move(m), now_ms, span});
       if (!s->worker_active) {
         s->worker_active = true;
         arm = true;
@@ -341,6 +349,7 @@ void Msp::SessionWorker(std::shared_ptr<Session> s) {
   while (true) {
     Message m;
     double enqueue_ms = 0;
+    obs::SpanContext span;
     bool have_msg = false;
     bool check_orphan = false;
     bool take_cp = false;
@@ -359,6 +368,7 @@ void Msp::SessionWorker(std::shared_ptr<Session> s) {
       } else if (!s->pending_requests.empty()) {
         m = std::move(s->pending_requests.front().msg);
         enqueue_ms = s->pending_requests.front().enqueue_model_ms;
+        span = s->pending_requests.front().span;
         s->pending_requests.pop_front();
         have_msg = true;
       } else {
@@ -383,17 +393,20 @@ void Msp::SessionWorker(std::shared_ptr<Session> s) {
     if (have_msg) {
       double t_start = env_->NowModelMs();
       hist_queue_wait_ms_->Record(t_start - enqueue_ms);
-      ProcessRequest(s, m);
+      env_->tracer().Record(obs::TraceEventType::kDequeue, t_start, config_.id,
+                            s->id, m.seqno, m.method, span);
+      ProcessRequest(s, m, span);
       hist_request_ms_->Record(env_->NowModelMs() - t_start);
       ctr_requests_->Add(1);
     }
   }
 }
 
-void Msp::ProcessRequest(const std::shared_ptr<Session>& s, const Message& m) {
+void Msp::ProcessRequest(const std::shared_ptr<Session>& s, const Message& m,
+                         const obs::SpanContext& span) {
   Status st = config_.mode == RecoveryMode::kLogBased
-                  ? ProcessRequestLogBased(s.get(), m)
-                  : ProcessRequestBaseline(s.get(), m);
+                  ? ProcessRequestLogBased(s.get(), m, span)
+                  : ProcessRequestBaseline(s.get(), m, span);
   (void)st;  // kCrashed/kTimedOut: client resends; nothing more to do here
 }
 
@@ -401,7 +414,8 @@ void Msp::ProcessRequest(const std::shared_ptr<Session>& s, const Message& m) {
 // Request processing — log-based mode (§3)
 // ---------------------------------------------------------------------------
 
-Status Msp::ProcessRequestLogBased(Session* s, const Message& m) {
+Status Msp::ProcessRequestLogBased(Session* s, const Message& m,
+                                   const obs::SpanContext& span) {
   // Interception point (§4.1): lazy orphan check on request receive.
   if (SessionIsOrphan(s)) {
     MSPLOG_RETURN_IF_ERROR(RecoverSessionReplay(s));
@@ -415,7 +429,7 @@ Status Msp::ProcessRequestLogBased(Session* s, const Message& m) {
   if (m.seqno < s->next_expected_seqno) {
     if (s->buffered_reply.valid && s->buffered_reply.seqno == m.seqno) {
       Status st = SendReply(s, s->buffered_reply.code,
-                            s->buffered_reply.payload, m.seqno);
+                            s->buffered_reply.payload, m.seqno, span);
       if (st.IsOrphan()) return RecoverSessionReplay(s);
       return st;
     }
@@ -480,7 +494,7 @@ Status Msp::ProcessRequestLogBased(Session* s, const Message& m) {
       audit::LockGuard lk(sessions_mu_);
       s->ended = true;
     }
-    return SendReply(s, ReplyCode::kOk, "", m.seqno);
+    return SendReply(s, ReplyCode::kOk, "", m.seqno, span);
   }
 
   // First activity of a fresh session: mark its start in the log.
@@ -508,23 +522,23 @@ Status Msp::ProcessRequestLogBased(Session* s, const Message& m) {
   }
 
   // Execute the service method.
-  ExecContext ctx(this, s, ExecContext::Mode::kNormal, m.seqno);
+  ExecContext ctx(this, s, ExecContext::Mode::kNormal, m.seqno, nullptr, span);
   Bytes result;
   env_->tracer().Record(obs::TraceEventType::kExecStart, env_->NowModelMs(),
-                        config_.id, s->id, m.seqno, m.method);
+                        config_.id, s->id, m.seqno, m.method, span);
   double exec_t0 = env_->NowModelMs();
   Status st = InvokeMethod(m.method, &ctx, m.payload, &result);
   double exec_t1 = env_->NowModelMs();
   hist_execute_ms_->Record(exec_t1 - exec_t0);
   env_->tracer().Record(obs::TraceEventType::kExecEnd, exec_t1, config_.id,
-                        s->id, m.seqno, st.ok() ? "" : st.ToString());
+                        s->id, m.seqno, st.ok() ? "" : st.ToString(), span);
   if (st.IsOrphan()) return RecoverSessionReplay(s);
   if (st.IsCrashed() || st.IsTimedOut()) return st;
 
   ReplyCode code = st.ok() ? ReplyCode::kOk : ReplyCode::kAppError;
   Bytes payload = st.ok() ? std::move(result) : Bytes(st.ToString());
 
-  Status rst = SendReply(s, code, payload, m.seqno);
+  Status rst = SendReply(s, code, payload, m.seqno, span);
   if (rst.IsOrphan()) return RecoverSessionReplay(s);
   MSPLOG_RETURN_IF_ERROR(rst);
 
@@ -535,7 +549,7 @@ Status Msp::ProcessRequestLogBased(Session* s, const Message& m) {
   // Session checkpoint, only between requests (§3.2).
   if (config_.session_checkpoint_threshold_bytes > 0 &&
       s->bytes_logged_since_cp >= config_.session_checkpoint_threshold_bytes) {
-    Status cst = TakeSessionCheckpoint(s);
+    Status cst = TakeSessionCheckpoint(s, span);
     if (cst.IsOrphan()) return RecoverSessionReplay(s);
   }
 
@@ -554,7 +568,7 @@ Status Msp::InvokeMethod(const std::string& method, ExecContext* ctx,
 }
 
 Status Msp::SendReply(Session* s, ReplyCode code, const Bytes& payload,
-                      uint64_t seqno) {
+                      uint64_t seqno, const obs::SpanContext& span) {
   Message r;
   r.type = MessageType::kReply;
   r.sender = config_.id;
@@ -562,6 +576,9 @@ Status Msp::SendReply(Session* s, ReplyCode code, const Bytes& payload,
   r.seqno = seqno;
   r.reply_code = code;
   r.payload = payload;
+  // Echo the trace back: the reply's parent is this server's request span.
+  r.trace_id = span.trace_id;
+  r.parent_span_id = span.span_id;
   if (config_.mode == RecoveryMode::kLogBased) {
     if (IntraDomain(s->client)) {
       // Optimistic: attach the sender session's DV (Fig. 7) — or the whole
@@ -573,7 +590,7 @@ Status Msp::SendReply(Session* s, ReplyCode code, const Bytes& payload,
       // Pessimistic: output messages must never become orphans (§2.3).
       DependencyVector flush_dv =
           config_.per_session_dv ? s->dv : MspWideDv();
-      MSPLOG_RETURN_IF_ERROR(DistributedFlush(flush_dv));
+      MSPLOG_RETURN_IF_ERROR(DistributedFlush(flush_dv, span));
       audit::CheckWalBeforeSend("reply to " + s->client, config_.id,
                                 epoch_.load(), flush_dv,
                                 log_->durable_lsn());
@@ -581,7 +598,7 @@ Status Msp::SendReply(Session* s, ReplyCode code, const Bytes& payload,
   }
   network_->Send(config_.id, s->client, r.Encode());
   env_->tracer().Record(obs::TraceEventType::kReplySent, env_->NowModelMs(),
-                        config_.id, s->id, seqno);
+                        config_.id, s->id, seqno, "", span);
   return Status::OK();
 }
 
@@ -886,7 +903,7 @@ Status Msp::CallRoundTrip(const std::string& dest, const Message& req,
 
 Status Msp::OutgoingCallImpl(Session* s, const std::string& target,
                              const std::string& method, ByteView arg,
-                             Bytes* reply) {
+                             Bytes* reply, const obs::SpanContext& parent_span) {
   const bool log_based = config_.mode == RecoveryMode::kLogBased;
   if (log_based && SessionIsOrphan(s)) {
     return Status::Orphan("session " + s->id);
@@ -909,6 +926,10 @@ Status Msp::OutgoingCallImpl(Session* s, const std::string& target,
   req.seqno = seqno;
   req.method = method;
   req.payload = Bytes(arg);
+  // Propagate the caller's trace: the callee's request span becomes a child
+  // of this request's span, linking span trees across MSPs.
+  req.trace_id = parent_span.trace_id;
+  req.parent_span_id = parent_span.span_id;
 
   const bool intra = IntraDomain(target);
   if (log_based) {
@@ -921,7 +942,7 @@ Status Msp::OutgoingCallImpl(Session* s, const std::string& target,
       // the service domain (Fig. 7, "before send, across service domains").
       DependencyVector flush_dv =
           config_.per_session_dv ? s->dv : MspWideDv();
-      MSPLOG_RETURN_IF_ERROR(DistributedFlush(flush_dv));
+      MSPLOG_RETURN_IF_ERROR(DistributedFlush(flush_dv, parent_span));
       audit::CheckWalBeforeSend("call to " + target, config_.id,
                                 epoch_.load(), flush_dv,
                                 log_->durable_lsn());
@@ -960,18 +981,28 @@ Status Msp::OutgoingCallImpl(Session* s, const std::string& target,
 // Distributed log flush (§3.1)
 // ---------------------------------------------------------------------------
 
-Status Msp::DistributedFlush(const DependencyVector& dv) {
+Status Msp::DistributedFlush(const DependencyVector& dv,
+                             const obs::SpanContext& span) {
   if (config_.mode != RecoveryMode::kLogBased) return Status::OK();
+  // The flush is its own child span under the stalled request span, so the
+  // trace shows the log-flush stall as a distinct stage.
+  obs::SpanContext fspan;
+  if (span.valid()) {
+    fspan.trace_id = span.trace_id;
+    fspan.span_id = obs::NextSpanId();
+    fspan.parent_span_id = span.span_id;
+  }
   double t0 = env_->NowModelMs();
   env_->tracer().Record(obs::TraceEventType::kDistFlushStart, t0, config_.id,
                         /*session=*/"", /*seqno=*/0,
-                        "dv_entries=" + std::to_string(dv.entry_count()));
+                        "dv_entries=" + std::to_string(dv.entry_count()),
+                        fspan);
   Status st = DistributedFlushImpl(dv);
   double t1 = env_->NowModelMs();
   hist_flush_wait_ms_->Record(t1 - t0);
   env_->tracer().Record(obs::TraceEventType::kDistFlushEnd, t1, config_.id,
                         /*session=*/"", /*seqno=*/0,
-                        st.ok() ? "" : st.ToString());
+                        st.ok() ? "" : st.ToString(), fspan);
   return st;
 }
 
@@ -1237,7 +1268,8 @@ bool Msp::SessionIsOrphan(const Session* s) const {
 // Baseline request processing (§5 comparison configurations)
 // ---------------------------------------------------------------------------
 
-Status Msp::ProcessRequestBaseline(Session* s, const Message& m) {
+Status Msp::ProcessRequestBaseline(Session* s, const Message& m,
+                                   const obs::SpanContext& span) {
   const bool stateful = config_.mode == RecoveryMode::kPsession ||
                         config_.mode == RecoveryMode::kStateServer;
   if (m.method == "__end_session") {
@@ -1245,7 +1277,7 @@ Status Msp::ProcessRequestBaseline(Session* s, const Message& m) {
       audit::LockGuard lk(sessions_mu_);
       s->ended = true;
     }
-    return SendReply(s, ReplyCode::kOk, "", m.seqno);
+    return SendReply(s, ReplyCode::kOk, "", m.seqno, span);
   }
   bool state_found = false;
   if (stateful) {
@@ -1254,7 +1286,7 @@ Status Msp::ProcessRequestBaseline(Session* s, const Message& m) {
   if (m.seqno < s->next_expected_seqno) {
     if (s->buffered_reply.valid && s->buffered_reply.seqno == m.seqno) {
       return SendReply(s, s->buffered_reply.code, s->buffered_reply.payload,
-                       m.seqno);
+                       m.seqno, span);
     }
     return Status::OK();
   }
@@ -1269,7 +1301,7 @@ Status Msp::ProcessRequestBaseline(Session* s, const Message& m) {
     }
   }
 
-  ExecContext ctx(this, s, ExecContext::Mode::kNormal, m.seqno);
+  ExecContext ctx(this, s, ExecContext::Mode::kNormal, m.seqno, nullptr, span);
   Bytes result;
   Status st = InvokeMethod(m.method, &ctx, m.payload, &result);
   if (st.IsCrashed() || st.IsTimedOut()) return st;
@@ -1281,7 +1313,7 @@ Status Msp::ProcessRequestBaseline(Session* s, const Message& m) {
   if (stateful) {
     MSPLOG_RETURN_IF_ERROR(StoreBaselineState(s));
   }
-  MSPLOG_RETURN_IF_ERROR(SendReply(s, code, payload, m.seqno));
+  MSPLOG_RETURN_IF_ERROR(SendReply(s, code, payload, m.seqno, span));
   if (after_request_hook_) after_request_hook_(this, s->id, m.seqno);
   return Status::OK();
 }
@@ -1418,6 +1450,69 @@ size_t Msp::SessionCount() const {
 RecoveredStateTable Msp::SnapshotRecoveredTable() const {
   audit::LockGuard lk(table_mu_);
   return recovered_table_;
+}
+
+std::string Msp::DumpStatusz() const {
+  const char* state_name = "?";
+  switch (state_.load()) {
+    case State::kStopped: state_name = "stopped"; break;
+    case State::kRecovering: state_name = "recovering"; break;
+    case State::kRunning: state_name = "running"; break;
+    case State::kCrashed: state_name = "crashed"; break;
+  }
+  std::string out = "{";
+  out += "\"id\":\"" + obs::JsonEscape(config_.id) + "\",";
+  out += "\"state\":\"" + std::string(state_name) + "\",";
+  out += "\"epoch\":" + std::to_string(epoch_.load()) + ",";
+  out += "\"model_ms\":" + std::to_string(env_->NowModelMs()) + ",";
+
+  // Session occupancy. Only queue/ownership flags are touched — those are
+  // the fields sessions_mu_ actually guards, so this is safe while workers
+  // are mutating session bodies.
+  {
+    uint64_t queued = 0, active = 0, recovering = 0, ended = 0;
+    audit::LockGuard lk(sessions_mu_);
+    for (const auto& [id, s] : sessions_) {
+      queued += s->pending_requests.size();
+      if (s->worker_active) ++active;
+      if (s->recovering) ++recovering;
+      if (s->ended) ++ended;
+    }
+    out += "\"sessions\":{\"count\":" + std::to_string(sessions_.size()) +
+           ",\"queued_requests\":" + std::to_string(queued) +
+           ",\"active_workers\":" + std::to_string(active) +
+           ",\"recovering\":" + std::to_string(recovering) +
+           ",\"ended\":" + std::to_string(ended) + "},";
+  }
+
+  // Log extents (absent outside kLogBased or before Start).
+  if (log_) {
+    out += "\"log\":{\"end_lsn\":" + std::to_string(log_->end_lsn()) +
+           ",\"durable_lsn\":" + std::to_string(log_->durable_lsn()) +
+           ",\"reclaimed_lsn\":" + std::to_string(log_->reclaimed_lsn()) +
+           "},";
+  }
+
+  {
+    audit::LockGuard lk(table_mu_);
+    out += "\"recovered_table_entries\":" +
+           std::to_string(recovered_table_.entries().size()) + ",";
+  }
+  {
+    audit::LockGuard lk(timeline_mu_);
+    size_t n = recovery_history_.size() +
+               (last_recovery_timeline_.epoch != 0 ? 1 : 0);
+    out += "\"recoveries\":" + std::to_string(n) + ",";
+  }
+  out += "\"requests\":" + std::to_string(ctr_requests_->Value()) + ",";
+  out += "\"histograms\":{";
+  out += "\"queue_wait_ms\":" + obs::SnapshotJson(hist_queue_wait_ms_->Snap());
+  out += ",\"execute_ms\":" + obs::SnapshotJson(hist_execute_ms_->Snap());
+  out += ",\"flush_wait_ms\":" + obs::SnapshotJson(hist_flush_wait_ms_->Snap());
+  out += ",\"request_ms\":" + obs::SnapshotJson(hist_request_ms_->Snap());
+  out += ",\"replay_ms\":" + obs::SnapshotJson(hist_replay_ms_->Snap());
+  out += "}}";
+  return out;
 }
 
 }  // namespace msplog

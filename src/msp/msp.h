@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -122,6 +123,23 @@ class Msp {
   /// and orphan-recovery events observed since that recovery started.
   obs::RecoveryTimeline LastRecoveryTimeline() const;
 
+  /// Bounded history of recovery timelines, oldest first, ending with the
+  /// in-progress/most-recent one. At most kRecoveryHistoryLimit entries are
+  /// retained; `max_n` (0 = all retained) trims to the most recent n.
+  std::vector<obs::RecoveryTimeline> RecentRecoveryTimelines(
+      size_t max_n = 0) const;
+
+  /// Per-session provenance of the most recent recovery: which checkpoints
+  /// rebuilt each session and which (epoch, seqno, LSN) log records its
+  /// replay consumed. Lazy orphan recoveries update their session's entry.
+  std::vector<obs::RecoveryTimeline::SessionProvenance> RecoveryProvenance()
+      const;
+
+  /// One-call structured snapshot of the server ("/statusz"): identity,
+  /// lifecycle state, epoch, session/queue occupancy, log extents, and
+  /// latency-histogram quantiles. JSON; safe to call from any thread.
+  std::string DumpStatusz() const;
+
   /// Model ms the most recent crash recovery's analysis scan took.
   /// Back-compat shim over LastRecoveryTimeline().analysis_scan_ms.
   double last_recovery_scan_ms() const {
@@ -155,13 +173,16 @@ class Msp {
   void SendBusyReply(const Message& req);
 
   // ---- request processing ----
-  void ProcessRequest(const std::shared_ptr<Session>& s, const Message& m);
-  Status ProcessRequestLogBased(Session* s, const Message& m);
-  Status ProcessRequestBaseline(Session* s, const Message& m);
+  void ProcessRequest(const std::shared_ptr<Session>& s, const Message& m,
+                      const obs::SpanContext& span);
+  Status ProcessRequestLogBased(Session* s, const Message& m,
+                                const obs::SpanContext& span);
+  Status ProcessRequestBaseline(Session* s, const Message& m,
+                                const obs::SpanContext& span);
   Status InvokeMethod(const std::string& method, ExecContext* ctx,
                       const Bytes& arg, Bytes* result);
   Status SendReply(Session* s, ReplyCode code, const Bytes& payload,
-                   uint64_t seqno);
+                   uint64_t seqno, const obs::SpanContext& span = {});
 
   // ---- normal-execution primitives (called via ExecContext) ----
   uint64_t AppendSessionRecord(Session* s, LogRecord rec);
@@ -172,7 +193,7 @@ class Msp {
                           Bytes* out);
   Status OutgoingCallImpl(Session* s, const std::string& target,
                           const std::string& method, ByteView arg,
-                          Bytes* reply);
+                          Bytes* reply, const obs::SpanContext& parent_span = {});
   std::shared_ptr<SharedVariable> GetOrCreateSharedVar(const std::string& name);
 
   /// Send `req` to `dest` and await the matching reply, resending on loss
@@ -184,8 +205,10 @@ class Msp {
                        uint32_t max_sends = 0);
 
   // ---- distributed log flush (§3.1) ----
-  /// Timing/tracing wrapper around DistributedFlushImpl.
-  Status DistributedFlush(const DependencyVector& dv);
+  /// Timing/tracing wrapper around DistributedFlushImpl. `span` is the
+  /// request span stalled on this flush; the flush records a child span.
+  Status DistributedFlush(const DependencyVector& dv,
+                          const obs::SpanContext& span = {});
   Status DistributedFlushImpl(const DependencyVector& dv);
 
   // ---- orphan machinery ----
@@ -201,7 +224,7 @@ class Msp {
   void OrphanCut(Session* s, uint64_t orphan_lsn);
 
   // ---- checkpoints (§3.2–§3.4) ----
-  Status TakeSessionCheckpoint(Session* s);
+  Status TakeSessionCheckpoint(Session* s, const obs::SpanContext& span = {});
   Status TakeSharedVarCheckpoint(SharedVariable* var);
   /// `force_units` also force-checkpoints stale/uncheckpointed sessions and
   /// shared variables (§3.4); recovery passes false because peer flushes are
@@ -216,7 +239,10 @@ class Msp {
   Status RecoverSessionReplay(Session* s, bool from_crash = false);
   /// One replay pass from the latest checkpoint along the position stream.
   /// `replayed_out`, when set, accumulates the number of requests replayed.
-  Status ReplayOnce(Session* s, uint64_t* replayed_out = nullptr);
+  /// `prov`, when set, is overwritten with this pass's provenance (the
+  /// checkpoint initialized from and every request record consumed).
+  Status ReplayOnce(Session* s, uint64_t* replayed_out = nullptr,
+                    obs::RecoveryTimeline::SessionProvenance* prov = nullptr);
   void SessionRecoveryTask(std::shared_ptr<Session> s);
 
   // ---- baseline substrate ----
@@ -303,6 +329,10 @@ class Msp {
   /// (including lazy orphan recoveries) are appended as they finish.
   mutable audit::Mutex timeline_mu_{"msp.timeline"};
   obs::RecoveryTimeline last_recovery_timeline_;
+  /// Completed predecessors of last_recovery_timeline_, oldest first,
+  /// trimmed to kRecoveryHistoryLimit. Guarded by timeline_mu_.
+  static constexpr size_t kRecoveryHistoryLimit = 8;
+  std::deque<obs::RecoveryTimeline> recovery_history_;
   /// Concurrent RecoverSessionReplay calls right now / high-water mark.
   std::atomic<uint32_t> active_replays_{0};
 

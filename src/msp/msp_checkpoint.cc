@@ -12,18 +12,26 @@
 
 namespace msplog {
 
-Status Msp::TakeSessionCheckpoint(Session* s) {
+Status Msp::TakeSessionCheckpoint(Session* s, const obs::SpanContext& span) {
   if (config_.mode != RecoveryMode::kLogBased) return Status::Unsupported("");
+  // When a traced request triggers the checkpoint, the pause shows up in
+  // its span tree as a child span.
+  obs::SpanContext cspan;
+  if (span.valid()) {
+    cspan.trace_id = span.trace_id;
+    cspan.span_id = obs::NextSpanId();
+    cspan.parent_span_id = span.span_id;
+  }
   env_->tracer().Record(obs::TraceEventType::kCheckpointBegin,
                         env_->NowModelMs(), config_.id, s->id, /*seqno=*/0,
-                        "session");
+                        "session", cspan);
   // §3.2: prior to a session checkpoint, a distributed log flush as dictated
   // by the session's DV ensures the checkpointed state is never an orphan.
-  Status fst = DistributedFlush(s->dv);
+  Status fst = DistributedFlush(s->dv, cspan);
   if (!fst.ok()) {
     env_->tracer().Record(obs::TraceEventType::kCheckpointEnd,
                           env_->NowModelMs(), config_.id, s->id, /*seqno=*/0,
-                          "session " + fst.ToString());
+                          "session " + fst.ToString(), cspan);
     return fst;
   }
 
@@ -41,7 +49,7 @@ Status Msp::TakeSessionCheckpoint(Session* s) {
   env_->stats().checkpoints_session.fetch_add(1);
   env_->tracer().Record(obs::TraceEventType::kCheckpointEnd,
                         env_->NowModelMs(), config_.id, s->id, /*seqno=*/0,
-                        "session");
+                        "session", cspan);
   return Status::OK();
 }
 

@@ -25,6 +25,26 @@ obs::RecoveryTimeline Msp::LastRecoveryTimeline() const {
   return last_recovery_timeline_;
 }
 
+std::vector<obs::RecoveryTimeline> Msp::RecentRecoveryTimelines(
+    size_t max_n) const {
+  audit::LockGuard lk(timeline_mu_);
+  std::vector<obs::RecoveryTimeline> out(recovery_history_.begin(),
+                                         recovery_history_.end());
+  if (last_recovery_timeline_.epoch != 0) {
+    out.push_back(last_recovery_timeline_);
+  }
+  if (max_n != 0 && out.size() > max_n) {
+    out.erase(out.begin(), out.end() - static_cast<ptrdiff_t>(max_n));
+  }
+  return out;
+}
+
+std::vector<obs::RecoveryTimeline::SessionProvenance> Msp::RecoveryProvenance()
+    const {
+  audit::LockGuard lk(timeline_mu_);
+  return last_recovery_timeline_.provenance;
+}
+
 Status Msp::CrashRecovery() {
   double t0 = env_->NowModelMs();
   env_->tracer().Record(obs::TraceEventType::kRecoveryStart, t0, config_.id);
@@ -47,9 +67,18 @@ Status Msp::CrashRecovery() {
 
   {
     audit::LockGuard lk(timeline_mu_);
+    // The previous recovery's timeline moves into the bounded history
+    // before this one takes the "last" slot.
+    if (last_recovery_timeline_.epoch != 0) {
+      recovery_history_.push_back(std::move(last_recovery_timeline_));
+      while (recovery_history_.size() > kRecoveryHistoryLimit) {
+        recovery_history_.pop_front();
+      }
+    }
     last_recovery_timeline_ = obs::RecoveryTimeline();
     last_recovery_timeline_.epoch = epoch_.load();
     last_recovery_timeline_.started_model_ms = t0;
+    last_recovery_timeline_.msp_checkpoint_lsn = msp_cp_lsn;
   }
 
   // Re-initialize from the most recent MSP checkpoint (Fig. 12).
@@ -232,6 +261,8 @@ Status Msp::CrashRecovery() {
     last_recovery_timeline_.analysis_bytes_scanned =
         durable > min_lsn ? durable - min_lsn : 0;
     last_recovery_timeline_.sessions_to_recover = sessions_to_recover;
+    last_recovery_timeline_.scan_start_lsn = min_lsn;
+    last_recovery_timeline_.scan_end_lsn = durable;
   }
 
   // Broadcast the recovery message within the service domain (§4.3). The
@@ -294,6 +325,8 @@ Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
     }
   }
   uint64_t requests_replayed = 0;
+  obs::RecoveryTimeline::SessionProvenance prov;
+  prov.session_id = s->id;
   Status st = Status::OK();
   uint32_t rounds = 0;
   while (true) {
@@ -301,7 +334,9 @@ Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
       st = Status::Internal("session recovery did not converge");
       break;
     }
-    st = ReplayOnce(s, &requests_replayed);
+    // Each pass overwrites the provenance; the final converged pass is the
+    // one that actually rebuilt the session, which is what we keep.
+    st = ReplayOnce(s, &requests_replayed, &prov);
     if (st.IsOrphan()) continue;  // orphaned again mid-replay: start over
     if (!st.ok()) break;
     // §4.1 "Orphan Recovery upon Multiple Crashes": another crash may have
@@ -328,6 +363,18 @@ Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
     audit::LockGuard lk(timeline_mu_);
     last_recovery_timeline_.session_replays.push_back(
         {s->id, replay_ms, requests_replayed, rounds, from_crash, st.ok()});
+    prov.msp_checkpoint_lsn = last_recovery_timeline_.msp_checkpoint_lsn;
+    // Replace-or-append: a lazy orphan recovery updates its session's entry
+    // rather than duplicating it.
+    bool replaced = false;
+    for (auto& p : last_recovery_timeline_.provenance) {
+      if (p.session_id == s->id) {
+        p = prov;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) last_recovery_timeline_.provenance.push_back(prov);
   }
   // The client may still be waiting for the reply of the last request —
   // resend it (duplicate replies are discarded by receivers).
@@ -358,9 +405,15 @@ Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
   return st;
 }
 
-Status Msp::ReplayOnce(Session* s, uint64_t* replayed_out) {
+Status Msp::ReplayOnce(Session* s, uint64_t* replayed_out,
+                       obs::RecoveryTimeline::SessionProvenance* prov) {
   // 1. Initialize from the most recent session checkpoint (§4.1).
   uint64_t cp_lsn = s->last_checkpoint_lsn.load();
+  if (prov) {
+    prov->records.clear();
+    prov->log_records_consumed = 0;
+    prov->session_checkpoint_lsn = cp_lsn;
+  }
   if (cp_lsn != 0) {
     LogRecord cp;
     MSPLOG_RETURN_IF_ERROR(log_->ReadRecordAt(cp_lsn, &cp));
@@ -380,9 +433,14 @@ Status Msp::ReplayOnce(Session* s, uint64_t* replayed_out) {
 
   // 2. Redo recovery: replay logged requests along the position stream.
   ReplayCursor cursor(log_.get(), s->positions.All());
+  // Every exit path stamps how far along the stream this pass got.
+  auto done = [&](Status st) {
+    if (prov) prov->log_records_consumed = cursor.consumed();
+    return st;
+  };
   while (cursor.HasNext()) {
     LogRecord rec;
-    MSPLOG_RETURN_IF_ERROR(cursor.Peek(&rec));
+    MSPLOG_RETURN_IF_ERROR(done(cursor.Peek(&rec)));
     if (rec.type == LogRecordType::kSessionStart) {
       cursor.Skip();
       continue;
@@ -390,33 +448,34 @@ Status Msp::ReplayOnce(Session* s, uint64_t* replayed_out) {
     if (rec.type == LogRecordType::kSessionEnd) {
       audit::LockGuard lk(sessions_mu_);
       s->ended = true;
-      return Status::OK();
+      return done(Status::OK());
     }
     if (rec.has_dv && DvIsOrphan(rec.dv)) {
       // The session became an orphan by receiving this request: skip it and
       // everything after; the sender will resend after its own recovery.
       OrphanCut(s, rec.lsn);
-      return Status::OK();
+      return done(Status::OK());
     }
     if (rec.type != LogRecordType::kRequestReceive) {
       env_->stats().replay_misalignments.fetch_add(1);
-      return Status::Internal(
+      return done(Status::Internal(
           "position stream misaligned: expected RequestReceive, found " +
           std::string(LogRecordTypeName(rec.type)) + " at " +
-          std::to_string(rec.lsn));
+          std::to_string(rec.lsn)));
     }
     cursor.Skip();
     s->state_number = rec.lsn;
     s->dv.Set(config_.id, StateId{epoch_.load(), rec.lsn});
     if (rec.has_dv) s->dv.Merge(rec.dv);
     s->next_expected_seqno = rec.seqno;
+    if (prov) prov->records.push_back({epoch_.load(), rec.seqno, rec.lsn});
 
     ExecContext ctx(this, s, ExecContext::Mode::kReplay, rec.seqno, &cursor);
     Bytes result;
     Status st = InvokeMethod(rec.target, &ctx, rec.payload, &result);
     env_->stats().requests_replayed.fetch_add(1);
     if (replayed_out) ++*replayed_out;
-    if (st.IsOrphan() || st.IsCrashed() || st.IsTimedOut()) return st;
+    if (st.IsOrphan() || st.IsCrashed() || st.IsTimedOut()) return done(st);
 
     ReplyCode code = st.ok() ? ReplyCode::kOk : ReplyCode::kAppError;
     Bytes payload = st.ok() ? std::move(result) : Bytes(st.ToString());
@@ -427,13 +486,13 @@ Status Msp::ReplayOnce(Session* s, uint64_t* replayed_out) {
       // The request was in flight when the log ended (or the cut happened):
       // its execution just completed for real, so the reply must go out.
       Status rst = SendReply(s, code, payload, rec.seqno);
-      if (rst.IsOrphan()) return rst;
-      MSPLOG_RETURN_IF_ERROR(rst);
+      if (rst.IsOrphan()) return done(rst);
+      MSPLOG_RETURN_IF_ERROR(done(rst));
       // Anything after the switch point is gone (cut) or did not exist.
-      return Status::OK();
+      return done(Status::OK());
     }
   }
-  return Status::OK();
+  return done(Status::OK());
 }
 
 void Msp::OrphanCut(Session* s, uint64_t orphan_lsn) {

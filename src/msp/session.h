@@ -21,6 +21,7 @@
 #include "common/serde.h"
 #include "common/status.h"
 #include "log/position_stream.h"
+#include "obs/trace.h"
 #include "recovery/dependency_vector.h"
 #include "rpc/message.h"
 
@@ -84,6 +85,9 @@ class Session {
   struct QueuedRequest {
     Message msg;
     double enqueue_model_ms = 0;
+    /// Server-side request span, allocated at enqueue with the message's
+    /// wire parent; every later lifecycle event of this request carries it.
+    obs::SpanContext span;
   };
   std::deque<QueuedRequest> pending_requests;
   bool worker_active = false;

@@ -3,6 +3,13 @@
 // every session replay that follows (parallel after a crash, lazy when
 // orphan recovery fires at an interception point). Replaces the old
 // Msp::last_recovery_scan_ms_ scalar, which survives as a shim.
+//
+// Provenance: alongside the phase durations, the timeline records *what*
+// rebuilt each session — the MSP checkpoint the anchor pointed at, the
+// session checkpoint replay initialized from, and the (epoch, seqno, LSN)
+// of every request-boundary log record the final replay round consumed.
+// This is the log-forensic view recovery debugging needs: "session X was
+// rebuilt from checkpoint at LSN c by replaying records l1..ln".
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,27 @@ namespace msplog {
 namespace obs {
 
 struct RecoveryTimeline {
+  /// One (epoch, seqno, LSN) log record consumed by a replay. `epoch` is
+  /// the epoch under which the replay re-adopted the record into the
+  /// session's DV; `lsn` doubles as the paper's state number.
+  struct RecordRef {
+    uint32_t epoch = 0;
+    uint64_t seqno = 0;
+    uint64_t lsn = 0;
+  };
+
+  /// What rebuilt one session: the checkpoints it initialized from and the
+  /// request-boundary records its final replay round consumed. Non-request
+  /// records (logged shared reads, reply receives) consumed between requests
+  /// are counted in log_records_consumed.
+  struct SessionProvenance {
+    std::string session_id;
+    uint64_t session_checkpoint_lsn = 0;  ///< 0 = replayed from scratch
+    uint64_t msp_checkpoint_lsn = 0;      ///< 0 = located by the scan alone
+    uint64_t log_records_consumed = 0;    ///< all positions consumed
+    std::vector<RecordRef> records;       ///< kRequestReceive records replayed
+  };
+
   /// One completed replay of one session.
   struct SessionReplay {
     std::string session_id;
@@ -34,6 +62,14 @@ struct RecoveryTimeline {
   std::vector<SessionReplay> session_replays;
   uint32_t max_parallel_replays = 0;    ///< peak concurrent session replays
   uint64_t orphan_events = 0;           ///< orphan detections attributed here
+
+  // ---- provenance ----
+  uint64_t msp_checkpoint_lsn = 0;  ///< anchor's MSP checkpoint (0 = none)
+  uint64_t scan_start_lsn = 0;      ///< analysis scan start position
+  uint64_t scan_end_lsn = 0;        ///< durable extent end at recovery time
+  /// Per-session provenance, one entry per session replayed (lazy orphan
+  /// recoveries replace their session's entry).
+  std::vector<SessionProvenance> provenance;
 
   /// Sum of per-session replay model ms (parallel replays overlap, so this
   /// can exceed wall model time).

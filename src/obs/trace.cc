@@ -6,7 +6,7 @@
 #include <map>
 #include <thread>
 
-#include "obs/metrics.h"  // JsonEscape
+#include "obs/metrics.h"  // JsonEscape, Counter
 
 namespace msplog {
 namespace obs {
@@ -30,8 +30,16 @@ const char* TraceEventTypeName(TraceEventType t) {
     case TraceEventType::kReplayEnd: return "ReplayEnd";
     case TraceEventType::kOrphanDetected: return "OrphanDetected";
     case TraceEventType::kOrphanCut: return "OrphanCut";
+    case TraceEventType::kDequeue: return "Dequeue";
+    case TraceEventType::kClientCallStart: return "ClientCallStart";
+    case TraceEventType::kClientCallEnd: return "ClientCallEnd";
   }
   return "?";
+}
+
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 namespace {
@@ -52,6 +60,8 @@ char PhaseFor(TraceEventType t, const char** span_name) {
     case TraceEventType::kRecoveryEnd: *span_name = "crash_recovery"; return 'E';
     case TraceEventType::kReplayStart: *span_name = "replay"; return 'B';
     case TraceEventType::kReplayEnd: *span_name = "replay"; return 'E';
+    case TraceEventType::kClientCallStart: *span_name = "client_call"; return 'B';
+    case TraceEventType::kClientCallEnd: *span_name = "client_call"; return 'E';
     default: *span_name = TraceEventTypeName(t); return 'i';
   }
 }
@@ -70,7 +80,7 @@ EventTracer::EventTracer(size_t capacity, size_t stripes) {
 
 void EventTracer::Record(TraceEventType type, double model_ms,
                          std::string actor, std::string session,
-                         uint64_t seqno, std::string detail) {
+                         uint64_t seqno, std::string detail, SpanContext span) {
   if (!enabled()) return;
   TraceEvent e;
   e.type = type;
@@ -80,18 +90,24 @@ void EventTracer::Record(TraceEventType type, double model_ms,
   e.actor = std::move(actor);
   e.session = std::move(session);
   e.detail = std::move(detail);
+  e.span = span;
 
   size_t idx = std::hash<std::thread::id>{}(std::this_thread::get_id()) %
                stripes_.size();
   Stripe& st = *stripes_[idx];
-  audit::LockGuard lk(st.mu);
-  st.total++;
-  if (st.ring.size() < per_stripe_) {
-    st.ring.push_back(std::move(e));
-  } else {
-    st.ring[st.next] = std::move(e);
-    st.next = (st.next + 1) % per_stripe_;
+  bool overwrote = false;
+  {
+    audit::LockGuard lk(st.mu);
+    st.total++;
+    if (st.ring.size() < per_stripe_) {
+      st.ring.push_back(std::move(e));
+    } else {
+      st.ring[st.next] = std::move(e);
+      st.next = (st.next + 1) % per_stripe_;
+      overwrote = true;
+    }
   }
+  if (overwrote && drop_counter_) drop_counter_->Add(1);
 }
 
 std::vector<TraceEvent> EventTracer::Events() const {
@@ -139,6 +155,12 @@ std::string EventTracer::DumpJson() const {
     out += "\"actor\":\"" + JsonEscape(e.actor) + "\",";
     out += "\"session\":\"" + JsonEscape(e.session) + "\",";
     out += "\"seqno\":" + std::to_string(e.seqno) + ",";
+    if (e.span.valid()) {
+      out += "\"trace_id\":" + std::to_string(e.span.trace_id) + ",";
+      out += "\"span_id\":" + std::to_string(e.span.span_id) + ",";
+      out += "\"parent_span_id\":" + std::to_string(e.span.parent_span_id) +
+             ",";
+    }
     out += "\"detail\":\"" + JsonEscape(e.detail) + "\"}";
   }
   out += "]";
@@ -151,10 +173,19 @@ std::string EventTracer::DumpChromeTracing() const {
   // sessions as threads, and name them through metadata events.
   std::map<std::string, int> pids;
   std::map<std::pair<std::string, std::string>, int> tids;
+  // Flow events draw one causal chain per trace_id: the first event of the
+  // trace starts the flow (ph "s"), intermediates continue it ("t"), the
+  // last finishes it ("f"). Events are already seq-ordered.
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> flow_bounds;  // first/last seq
   for (const TraceEvent& e : events) {
     pids.emplace(e.actor, static_cast<int>(pids.size()) + 1);
     tids.emplace(std::make_pair(e.actor, e.session),
                  static_cast<int>(tids.size()) + 1);
+    if (e.span.valid()) {
+      auto [it, inserted] =
+          flow_bounds.emplace(e.span.trace_id, std::make_pair(e.seq, e.seq));
+      if (!inserted) it->second.second = e.seq;
+    }
   }
 
   std::string out = "{\"traceEvents\":[";
@@ -178,17 +209,38 @@ std::string EventTracer::DumpChromeTracing() const {
   for (const TraceEvent& e : events) {
     const char* span = nullptr;
     char ph = PhaseFor(e.type, &span);
+    const int pid = pids[e.actor];
+    const int tid = tids[{e.actor, e.session}];
     char buf[160];
     snprintf(buf, sizeof(buf),
              "{\"ph\":\"%c\",\"name\":\"%s\",\"ts\":%.3f,\"pid\":%d,"
              "\"tid\":%d",
-             ph, span, e.model_ms * 1000.0, pids[e.actor],
-             tids[{e.actor, e.session}]);
+             ph, span, e.model_ms * 1000.0, pid, tid);
     std::string obj = buf;
     if (ph == 'i') obj += ",\"s\":\"t\"";
-    obj += ",\"args\":{\"seqno\":" + std::to_string(e.seqno) +
-           ",\"detail\":\"" + JsonEscape(e.detail) + "\"}}";
+    obj += ",\"args\":{\"seqno\":" + std::to_string(e.seqno);
+    if (e.span.valid()) {
+      obj += ",\"trace_id\":" + std::to_string(e.span.trace_id) +
+             ",\"span_id\":" + std::to_string(e.span.span_id) +
+             ",\"parent_span_id\":" + std::to_string(e.span.parent_span_id);
+    }
+    obj += ",\"detail\":\"" + JsonEscape(e.detail) + "\"}}";
     emit(obj);
+    if (e.span.valid()) {
+      const auto& bounds = flow_bounds[e.span.trace_id];
+      if (bounds.first != bounds.second) {  // single-event traces draw nothing
+        char fph = e.seq == bounds.first ? 's'
+                   : e.seq == bounds.second ? 'f'
+                                            : 't';
+        snprintf(buf, sizeof(buf),
+                 "{\"ph\":\"%c\",\"cat\":\"trace\",\"name\":\"trace\","
+                 "\"id\":%llu,\"ts\":%.3f,\"pid\":%d,\"tid\":%d%s}",
+                 fph, static_cast<unsigned long long>(e.span.trace_id),
+                 e.model_ms * 1000.0, pid, tid,
+                 fph == 'f' ? ",\"bp\":\"e\"" : "");
+        emit(buf);
+      }
+    }
   }
   out += "]}";
   return out;

@@ -1,20 +1,32 @@
 // EventTracer — a bounded, lock-striped ring buffer of structured
 // request-lifecycle events.
 //
-// Every interesting transition on the request path (enqueue, execute, local
-// and distributed log flush, reply) and on the recovery path (analysis scan,
-// per-session replay, checkpoints, orphan cuts) records one event stamped
-// with model time, the acting component, the session and the request seqno.
-// The buffer is bounded (oldest events are overwritten), so tracing can stay
-// on during long benchmarks; recording is one short critical section on one
-// of N stripes, so concurrent sessions do not serialize on the tracer.
+// Every interesting transition on the request path (enqueue, dequeue,
+// execute, local and distributed log flush, reply) and on the recovery path
+// (analysis scan, per-session replay, checkpoints, orphan cuts) records one
+// event stamped with model time, the acting component, the session and the
+// request seqno. The buffer is bounded (oldest events are overwritten), so
+// tracing can stay on during long benchmarks; recording is one short
+// critical section on one of N stripes, so concurrent sessions do not
+// serialize on the tracer. Overwrites are counted (dropped()) and mirrored
+// into an optional Counter so truncated traces are detectable.
+//
+// Causal tracing: events may carry a SpanContext — a (trace_id, span_id,
+// parent_span_id) triple propagated on the wire (rpc/message.h) from the
+// client endpoint through every nested MSP→MSP call. The obs layer never
+// generates ids on its own behalf; callers allocate them with NextSpanId()
+// and pass them in, which keeps this layer free of any dependency on the
+// simulation or server layers.
 //
 // Dump formats:
 //   * DumpJson()           — a JSON array of event objects, schema in
 //                            docs/OBSERVABILITY.md;
 //   * DumpChromeTracing()  — the chrome://tracing / Perfetto "traceEvents"
 //                            format: paired Start/End events become duration
-//                            spans (ph B/E), everything else instants.
+//                            spans (ph B/E), everything else instants, and
+//                            each trace_id additionally emits a chain of
+//                            flow events (ph s/t/f) that draws the causal
+//                            arrows across actors.
 #pragma once
 
 #include <atomic>
@@ -27,6 +39,8 @@
 
 namespace msplog {
 namespace obs {
+
+class Counter;
 
 enum class TraceEventType : uint8_t {
   kEnqueue,           ///< request queued for its session worker
@@ -46,9 +60,28 @@ enum class TraceEventType : uint8_t {
   kReplayEnd,
   kOrphanDetected,    ///< an orphan dependency was proven
   kOrphanCut,         ///< EOS written, positions truncated (§4.1)
+  kDequeue,           ///< session worker picked the request up
+  kClientCallStart,   ///< client endpoint begins a synchronous call
+  kClientCallEnd,     ///< matching reply accepted (or the call gave up)
 };
 
 const char* TraceEventTypeName(TraceEventType t);
+
+/// Causal-tracing context carried alongside an event. trace_id identifies
+/// the whole client-rooted request tree; span_id the node this event belongs
+/// to; parent_span_id its parent in the tree. All zero = untraced.
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Process-wide unique id for spans and traces. A plain atomic counter: the
+/// whole simulation runs in one process, and the determinism lint bans
+/// unseeded randomness anyway.
+uint64_t NextSpanId();
 
 struct TraceEvent {
   TraceEventType type = TraceEventType::kEnqueue;
@@ -58,6 +91,7 @@ struct TraceEvent {
   std::string actor;     ///< component id: MSP id, "<id>.log", client name
   std::string session;   ///< session id ("" = not applicable)
   std::string detail;    ///< free-form (variable name, peer, byte count, ...)
+  SpanContext span;      ///< causal-tracing ids (trace_id 0 = untraced)
 };
 
 class EventTracer {
@@ -67,9 +101,13 @@ class EventTracer {
   void set_enabled(bool v) { enabled_.store(v, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Mirror ring overwrites into `c` (e.g. the registry's
+  /// "obs.trace_dropped"), so benches can surface truncation. May be null.
+  void set_drop_counter(Counter* c) { drop_counter_ = c; }
+
   void Record(TraceEventType type, double model_ms, std::string actor,
               std::string session = "", uint64_t seqno = 0,
-              std::string detail = "");
+              std::string detail = "", SpanContext span = SpanContext());
 
   /// All retained events in global record order (by seq).
   std::vector<TraceEvent> Events() const;
@@ -94,6 +132,7 @@ class EventTracer {
   std::vector<std::unique_ptr<Stripe>> stripes_;
   std::atomic<uint64_t> seq_{0};
   std::atomic<bool> enabled_{true};
+  Counter* drop_counter_ = nullptr;
 };
 
 }  // namespace obs

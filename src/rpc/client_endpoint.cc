@@ -40,6 +40,11 @@ ClientSession ClientEndpoint::StartSession(const std::string& msp) {
 Status ClientEndpoint::Call(ClientSession* session, const std::string& method,
                             ByteView arg, Bytes* reply, CallStats* stats) {
   const uint64_t seqno = session->next_seqno;
+  // Root of this request's causal trace: the trace id doubles as the root
+  // span id; servers parent their request spans on it via the wire fields.
+  obs::SpanContext root;
+  root.trace_id = obs::NextSpanId();
+  root.span_id = root.trace_id;
   Message req;
   req.type = MessageType::kRequest;
   req.sender = name_;
@@ -47,16 +52,23 @@ Status ClientEndpoint::Call(ClientSession* session, const std::string& method,
   req.seqno = seqno;
   req.method = method;
   req.payload = Bytes(arg);
+  req.trace_id = root.trace_id;
+  req.parent_span_id = root.span_id;
 
   CallStats local;
   double t0 = env_->NowModelMs();
   Bytes wire = req.Encode();
+  env_->tracer().Record(obs::TraceEventType::kClientCallStart, t0, name_,
+                        session->session_id, seqno, method, root);
 
   // Single finish path: stats and registry metrics are recorded on every
   // exit, including the give-up timeout (callers passing stats == nullptr
   // still get the metrics).
   auto finish = [&](Status st) {
     local.response_model_ms = env_->NowModelMs() - t0;
+    env_->tracer().Record(obs::TraceEventType::kClientCallEnd,
+                          env_->NowModelMs(), name_, session->session_id,
+                          seqno, st.ok() ? "" : st.ToString(), root);
     ctr_calls_->Add(1);
     if (local.sends > 1) ctr_resends_->Add(local.sends - 1);
     if (local.busy_replies > 0) ctr_busy_->Add(local.busy_replies);

@@ -12,6 +12,8 @@ Bytes Message::Encode() const {
   w.PutBytes(payload);
   w.PutU8(has_dv ? 1 : 0);
   if (has_dv) dv.EncodeTo(&w);
+  w.PutU64(trace_id);
+  w.PutU64(parent_span_id);
   w.PutU8(static_cast<uint8_t>(reply_code));
   w.PutVarint(flush_id);
   w.PutU32(epoch);
@@ -43,6 +45,8 @@ Status Message::Decode(ByteView wire, Message* out) {
   } else {
     out->dv.Clear();
   }
+  MSPLOG_RETURN_IF_ERROR(r.GetU64(&out->trace_id));
+  MSPLOG_RETURN_IF_ERROR(r.GetU64(&out->parent_span_id));
   uint8_t code = 0;
   MSPLOG_RETURN_IF_ERROR(r.GetU8(&code));
   if (code > static_cast<uint8_t>(ReplyCode::kOrphanNotice)) {

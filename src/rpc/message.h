@@ -54,6 +54,16 @@ struct Message {
   /// Attached sender-session DV (only within a service domain).
   bool has_dv = false;
   DependencyVector dv;
+
+  /// Causal-tracing context, carried next to the DV: the client-rooted
+  /// trace this message belongs to and the sender-side span that caused it.
+  /// Zero = untraced. Receivers allocate their own span with this parent;
+  /// replies echo the request's ids back. Decode ignores extra trailing
+  /// bytes, so a frame from a newer encoder that appends fields at the tail
+  /// stays readable.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+
   ReplyCode reply_code = ReplyCode::kOk;
 
   /// kFlushRequest / kFlushReply

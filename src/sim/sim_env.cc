@@ -36,7 +36,11 @@ void SleepUntilNs(uint64_t deadline_ns) {
 }  // namespace
 
 SimEnvironment::SimEnvironment(double time_scale)
-    : time_scale_(time_scale), start_ns_(NowNs()) {}
+    : time_scale_(time_scale), start_ns_(NowNs()) {
+  // Ring overwrites become a visible counter: benches check it and warn in
+  // their BENCH_JSON when a trace was silently truncated.
+  tracer_.set_drop_counter(metrics_.GetCounter("obs.trace_dropped"));
+}
 
 void SimEnvironment::SleepModelMs(double ms) {
   if (time_scale_ <= 0.0 || ms <= 0.0) return;

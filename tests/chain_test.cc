@@ -9,10 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <fstream>
 #include <thread>
 
+#include "msp/log_inspect.h"
 #include "msp/msp.h"
 #include "msp/service_domain.h"
+#include "obs/trace.h"
 #include "rpc/client_endpoint.h"
 #include "sim/sim_disk.h"
 #include "sim/sim_env.h"
@@ -197,6 +201,108 @@ TEST_F(ChainTest, MiddleNodeCrashRecoversChain) {
   ASSERT_TRUE(b_->Start().ok());
   ASSERT_TRUE(client.Call(&session, "arelay", "x", &reply).ok());
   EXPECT_EQ(reply, "A(B(4))");
+}
+
+// Acceptance: one client request's causal trace spans the whole A → B → C
+// chain with correct parent links, the Chrome dump carries cross-server flow
+// events, and the offline inspector replays C's physical log image (after a
+// real crash/recovery cycle) with zero invariant violations. The trace dump
+// and the log image are exported to the working directory so CI can run
+// `msplog_inspect --self-check` over the same artifact and archive the trace.
+TEST_F(ChainTest, DistributedTraceSpansChainAndLogImageSelfChecks) {
+  Build("dom", "dom", "dom");
+  env_.tracer().Clear();
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("A");
+  Bytes reply;
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(client.Call(&session, "arelay", "x", &reply).ok());
+  }
+  EXPECT_EQ(reply, "A(B(3))");
+
+  // Exercise real crash recovery on the leaf, then one more request so the
+  // post-crash epoch also appears in the log image.
+  CrashAndRestartC();
+  ASSERT_TRUE(client.Call(&session, "arelay", "x", &reply).ok());
+  EXPECT_EQ(reply, "A(B(4))");
+
+  // ---- span tree: client root → A request span → B → C ----
+  auto events = env_.tracer().Events();
+  const obs::TraceEvent* root = nullptr;
+  for (const auto& e : events) {
+    if (e.type == obs::TraceEventType::kClientCallStart && e.actor == "cli") {
+      root = &e;  // first call's root span
+      break;
+    }
+  }
+  ASSERT_NE(root, nullptr);
+  const uint64_t trace = root->span.trace_id;
+  ASSERT_NE(trace, 0u);
+  EXPECT_EQ(root->span.span_id, trace);  // root span id doubles as trace id
+  auto enqueue_of = [&](const std::string& actor) -> const obs::TraceEvent* {
+    for (const auto& e : events) {
+      if (e.type == obs::TraceEventType::kEnqueue && e.actor == actor &&
+          e.span.trace_id == trace) {
+        return &e;
+      }
+    }
+    return nullptr;
+  };
+  const obs::TraceEvent* enq_a = enqueue_of("A");
+  const obs::TraceEvent* enq_b = enqueue_of("B");
+  const obs::TraceEvent* enq_c = enqueue_of("C");
+  ASSERT_NE(enq_a, nullptr);
+  ASSERT_NE(enq_b, nullptr);
+  ASSERT_NE(enq_c, nullptr);  // the tree spans all three servers
+  EXPECT_EQ(enq_a->span.parent_span_id, root->span.span_id);
+  EXPECT_EQ(enq_b->span.parent_span_id, enq_a->span.span_id);
+  EXPECT_EQ(enq_c->span.parent_span_id, enq_b->span.span_id);
+  EXPECT_EQ(enq_a->session, session.session_id);
+
+  // The Chrome dump draws the causal chain as flow events.
+  std::string chrome = env_.tracer().DumpChromeTracing();
+  EXPECT_NE(chrome.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"trace_id\":" + std::to_string(trace)),
+            std::string::npos);
+
+  // ---- recovery provenance on the restarted leaf ----
+  std::vector<obs::RecoveryTimeline::SessionProvenance> prov;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    prov = c_->RecoveryProvenance();
+    if (!prov.empty() && !prov[0].records.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(prov.empty());
+  EXPECT_FALSE(prov[0].records.empty());
+
+  // ---- offline inspection of C's physical log image ----
+  ASSERT_TRUE(c_->log()->FlushAll().ok());
+  LogInspectReport report;
+  ASSERT_TRUE(
+      InspectLogImage(&disk_c_, "C.log", LogInspectOptions(), &report).ok());
+  EXPECT_GT(report.records, 0u);
+  EXPECT_GT(report.records_by_type["RequestReceive"], 0u);
+  for (const auto& v : report.invariant_violations) {
+    ADD_FAILURE() << "invariant violation: " << v;
+  }
+
+  // ---- export artifacts for CI (trace dump + raw log image) ----
+  {
+    std::ofstream tf("msplog_chain_trace.json", std::ios::binary);
+    ASSERT_TRUE(tf.good());
+    tf << chrome;
+  }
+  {
+    Bytes image;
+    uint64_t size = disk_c_.FileSize("C.log");
+    ASSERT_GT(size, 0u);
+    ASSERT_TRUE(disk_c_.ReadAt("C.log", 0, size, &image).ok());
+    std::ofstream lf("msplog_chain_log_image.bin", std::ios::binary);
+    ASSERT_TRUE(lf.good());
+    lf.write(image.data(), static_cast<std::streamsize>(image.size()));
+  }
 }
 
 TEST_F(ChainTest, AllThreeCrashTogether) {

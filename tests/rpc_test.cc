@@ -29,6 +29,8 @@ TEST(MessageTest, EncodeDecodeRoundTrip) {
   m.flush_ok = true;
   m.rec_epoch = 1;
   m.rec_sn = 888;
+  m.trace_id = 0xabcdef0123456789ull;
+  m.parent_span_id = 42;
 
   Message out;
   ASSERT_TRUE(Message::Decode(m.Encode(), &out).ok());
@@ -47,6 +49,43 @@ TEST(MessageTest, EncodeDecodeRoundTrip) {
   EXPECT_TRUE(out.flush_ok);
   EXPECT_EQ(out.rec_epoch, 1u);
   EXPECT_EQ(out.rec_sn, 888u);
+  EXPECT_EQ(out.trace_id, 0xabcdef0123456789ull);
+  EXPECT_EQ(out.parent_span_id, 42u);
+}
+
+TEST(MessageTest, TraceFieldsDefaultToUntraced) {
+  Message m;
+  m.type = MessageType::kRequest;
+  m.sender = "c";
+  Message out;
+  ASSERT_TRUE(Message::Decode(m.Encode(), &out).ok());
+  EXPECT_EQ(out.trace_id, 0u);
+  EXPECT_EQ(out.parent_span_id, 0u);
+}
+
+// Forward compatibility: a newer encoder that appends fields at the *tail*
+// of the frame must still be readable by this decoder — Decode reads the
+// fields it knows and ignores extra trailing bytes.
+TEST(MessageTest, DecodeIgnoresExtraTrailingBytes) {
+  Message m;
+  m.type = MessageType::kReply;
+  m.sender = "srv";
+  m.session_id = "cli/se1";
+  m.seqno = 3;
+  m.payload = "result";
+  m.trace_id = 77;
+  m.parent_span_id = 78;
+  Bytes wire = m.Encode();
+  wire += std::string("\x01\x02\x03\x04\x05\x06\x07\x08", 8);  // future tail
+
+  Message out;
+  ASSERT_TRUE(Message::Decode(wire, &out).ok());
+  EXPECT_EQ(out.type, MessageType::kReply);
+  EXPECT_EQ(out.sender, "srv");
+  EXPECT_EQ(out.seqno, 3u);
+  EXPECT_EQ(out.payload, "result");
+  EXPECT_EQ(out.trace_id, 77u);
+  EXPECT_EQ(out.parent_span_id, 78u);
 }
 
 TEST(MessageTest, DecodeGarbageFails) {

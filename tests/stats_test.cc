@@ -330,13 +330,14 @@ TEST_F(StatsTest, TracerRecordsExactLifecycleForOneRequest) {
   }
 
   // The full chain on alpha for one intra-domain request with an end-client
-  // reply: enqueue → execute → distributed flush (one local log write) →
-  // reply. Nothing else may interleave on this actor.
+  // reply: enqueue → dequeue → execute → distributed flush (one local log
+  // write) → reply. Nothing else may interleave on this actor.
   const std::vector<TraceEventType> want = {
-      TraceEventType::kEnqueue,         TraceEventType::kExecStart,
-      TraceEventType::kExecEnd,         TraceEventType::kDistFlushStart,
-      TraceEventType::kLocalFlushStart, TraceEventType::kLocalFlushEnd,
-      TraceEventType::kDistFlushEnd,    TraceEventType::kReplySent,
+      TraceEventType::kEnqueue,         TraceEventType::kDequeue,
+      TraceEventType::kExecStart,       TraceEventType::kExecEnd,
+      TraceEventType::kDistFlushStart,  TraceEventType::kLocalFlushStart,
+      TraceEventType::kLocalFlushEnd,   TraceEventType::kDistFlushEnd,
+      TraceEventType::kReplySent,
   };
   ASSERT_EQ(got.size(), want.size()) << env_.tracer().DumpJson();
   for (size_t i = 0; i < want.size(); ++i) {
@@ -350,14 +351,42 @@ TEST_F(StatsTest, TracerRecordsExactLifecycleForOneRequest) {
     EXPECT_GT(got[i].seq, got[i - 1].seq) << "event " << i;
   }
   // Request-scoped events carry the session id and the request seqno.
-  for (size_t i : {size_t{0}, size_t{1}, size_t{2}, size_t{7}}) {
+  for (size_t i : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{8}}) {
     EXPECT_EQ(got[i].session, session.session_id);
     EXPECT_EQ(got[i].seqno, session.next_seqno - 1);
   }
   // The log-flush pair is attributed to alpha's log file.
-  EXPECT_EQ(got[4].actor, "alpha.log");
   EXPECT_EQ(got[5].actor, "alpha.log");
+  EXPECT_EQ(got[6].actor, "alpha.log");
   EXPECT_EQ(env_.tracer().dropped(), 0u);
+
+  // Causal-tracing span contract: every request-scoped event on alpha shares
+  // the request span S1 (allocated at enqueue, parent = the client's root
+  // span), and the distributed-flush pair is a child span of S1.
+  const obs::SpanContext s1 = got[0].span;
+  EXPECT_TRUE(s1.valid());
+  EXPECT_NE(s1.span_id, 0u);
+  EXPECT_NE(s1.parent_span_id, 0u);  // parented under the client root
+  for (size_t i : {size_t{1}, size_t{2}, size_t{3}, size_t{8}}) {
+    EXPECT_EQ(got[i].span.trace_id, s1.trace_id) << "event " << i;
+    EXPECT_EQ(got[i].span.span_id, s1.span_id) << "event " << i;
+  }
+  EXPECT_EQ(got[4].span.trace_id, s1.trace_id);
+  EXPECT_EQ(got[4].span.parent_span_id, s1.span_id);
+  EXPECT_NE(got[4].span.span_id, s1.span_id);
+  EXPECT_EQ(got[7].span.span_id, got[4].span.span_id);
+  // The client endpoint recorded the root span bracketing the whole call.
+  auto all_events = env_.tracer().Events();
+  const obs::TraceEvent* root_ev = nullptr;
+  for (const auto& e : all_events) {
+    if (e.type == TraceEventType::kClientCallStart && e.actor == "cli" &&
+        e.span.trace_id == s1.trace_id) {
+      root_ev = &e;
+    }
+  }
+  ASSERT_NE(root_ev, nullptr);
+  EXPECT_EQ(root_ev->span.span_id, s1.parent_span_id);
+  EXPECT_EQ(root_ev->span.span_id, root_ev->span.trace_id);  // root: id==trace
 
   // Both dump formats carry the chain.
   std::string json = env_.tracer().DumpJson();
@@ -445,6 +474,125 @@ TEST_F(StatsTest, RecoveryTimelineAccountsCrashRecoveryPhases) {
 
   // After replay completes the session serves requests again.
   ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Tracer ring overflow is counted, not silent.
+
+TEST(TracerDropTest, OverflowCountsDropsAndMirrorsIntoCounter) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("obs.trace_dropped");
+  obs::EventTracer tracer(/*capacity=*/8, /*stripes=*/1);
+  tracer.set_drop_counter(c);
+  for (int i = 0; i < 20; ++i) {
+    tracer.Record(obs::TraceEventType::kEnqueue, i, "actor");
+  }
+  EXPECT_EQ(tracer.dropped(), 12u);
+  EXPECT_EQ(c->Value(), 12u);
+  // The ring keeps the newest events.
+  auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_DOUBLE_EQ(events.front().model_ms, 12.0);
+  EXPECT_DOUBLE_EQ(events.back().model_ms, 19.0);
+  // Clear resets retention but not the lifetime drop count.
+  tracer.Clear();
+  EXPECT_TRUE(tracer.Events().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Recovery provenance + bounded timeline history + statusz.
+
+TEST_F(StatsTest, RecoveryProvenanceNamesTheRecordsThatRebuiltTheSession) {
+  Build(/*same_domain=*/true);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  constexpr int kN = 5;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  }
+  alpha_->Crash();
+  ASSERT_TRUE(alpha_->Start().ok());
+  // Wait for the background replay to converge.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::vector<obs::RecoveryTimeline::SessionProvenance> prov;
+  while (std::chrono::steady_clock::now() < deadline) {
+    prov = alpha_->RecoveryProvenance();
+    if (!prov.empty()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(prov.size(), 1u);
+  const auto& p = prov[0];
+  EXPECT_EQ(p.session_id, session.session_id);
+  // Every request before the crash was rebuilt from a logged RequestReceive.
+  ASSERT_EQ(p.records.size(), static_cast<size_t>(kN));
+  for (size_t i = 1; i < p.records.size(); ++i) {
+    EXPECT_GT(p.records[i].lsn, p.records[i - 1].lsn);
+    EXPECT_GT(p.records[i].seqno, p.records[i - 1].seqno);
+  }
+  EXPECT_GE(p.log_records_consumed, p.records.size());
+  // No session checkpoint was taken (thresholds off in Build).
+  EXPECT_EQ(p.session_checkpoint_lsn, 0u);
+  // The timeline carries the same provenance plus the scan bounds.
+  obs::RecoveryTimeline tl = alpha_->LastRecoveryTimeline();
+  ASSERT_EQ(tl.provenance.size(), 1u);
+  EXPECT_EQ(tl.provenance[0].records.size(), p.records.size());
+  EXPECT_GT(tl.scan_end_lsn, tl.scan_start_lsn);
+  std::string json = tl.ToJson();
+  EXPECT_NE(json.find("\"provenance\""), std::string::npos);
+  EXPECT_NE(json.find("\"scan_start_lsn\""), std::string::npos);
+}
+
+TEST_F(StatsTest, RecentRecoveryTimelinesKeepsBoundedHistory) {
+  Build(/*same_domain=*/true);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  // Crash recovery runs on every Start, so the fresh boot already left one
+  // (empty-scan) timeline.
+  ASSERT_EQ(alpha_->RecentRecoveryTimelines().size(), 1u);
+
+  for (int round = 0; round < 2; ++round) {
+    alpha_->Crash();
+    ASSERT_TRUE(alpha_->Start().ok());
+    ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  }
+  auto timelines = alpha_->RecentRecoveryTimelines();
+  ASSERT_EQ(timelines.size(), 3u);
+  // Oldest first; epochs advance by one per boot/crash cycle.
+  for (size_t i = 1; i < timelines.size(); ++i) {
+    EXPECT_EQ(timelines[i].epoch, timelines[i - 1].epoch + 1);
+  }
+  EXPECT_EQ(timelines.back().epoch, alpha_->epoch());
+  // Only the crash recoveries replayed the session.
+  EXPECT_EQ(timelines[0].sessions_to_recover, 0u);
+  // A max_n cap keeps only the most recent entries.
+  auto last_one = alpha_->RecentRecoveryTimelines(1);
+  ASSERT_EQ(last_one.size(), 1u);
+  EXPECT_EQ(last_one[0].epoch, timelines.back().epoch);
+}
+
+TEST_F(StatsTest, DumpStatuszCarriesLiveStateAndSurvivesCrashCycle) {
+  Build(/*same_domain=*/true);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  std::string s = alpha_->DumpStatusz();
+  for (const char* key :
+       {"\"id\":\"alpha\"", "\"state\":\"running\"", "\"epoch\"",
+        "\"sessions\"", "\"log\"", "\"end_lsn\"", "\"requests\"",
+        "\"histograms\"", "\"recoveries\""}) {
+    EXPECT_NE(s.find(key), std::string::npos) << key << " missing in " << s;
+  }
+  alpha_->Crash();
+  std::string crashed = alpha_->DumpStatusz();
+  EXPECT_NE(crashed.find("\"state\":\"crashed\""), std::string::npos);
+  ASSERT_TRUE(alpha_->Start().ok());
+  ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  EXPECT_NE(alpha_->DumpStatusz().find("\"state\":\"running\""),
+            std::string::npos);
 }
 
 }  // namespace
