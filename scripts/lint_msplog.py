@@ -29,6 +29,12 @@ Checks enforced over src/ (stdlib only, no third-party deps):
                        observability layer is dependency-free so every other
                        layer (including sim/ itself) can use it without
                        cycles.
+  flush-send           kFlushRequest messages are built ONLY by the per-peer
+                       flush aggregator (src/msp/flush_aggregator.cc), which
+                       owns coalescing, resend dedup and the watermark. A
+                       direct `msg.type = MessageType::kFlushRequest`
+                       anywhere else bypasses group commit and duplicates
+                       in-flight requests. Comparisons (switch/==) are fine.
 
 Exit status: 0 clean, 1 findings (one `file:line: [check] message` per line).
 """
@@ -50,6 +56,9 @@ NONDET = re.compile(
     r"(^|[^_\w])(rand|srand)\s*\(|std::(random_device|mt19937)")
 PARENT_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
 OBS_FORBIDDEN_INCLUDE = re.compile(r'#\s*include\s*"(sim|msp)/')
+# Assignment (construction) of a kFlushRequest message; `==`/`!=`/`<=`/`>=`
+# comparisons and case labels don't match.
+FLUSH_SEND = re.compile(r"(?<![=!<>])=\s*MessageType::kFlushRequest")
 
 GUARD_DECL = re.compile(
     r"\b(?:audit::(?:LockGuard|UniqueLock|SharedLock|SharedUniqueLock)|"
@@ -167,6 +176,12 @@ def lint_file(path, findings):
             findings.append(
                 f"{rel}:{lineno}: [obs-layering] src/obs must not include "
                 "sim/ or msp/ headers (obs is dependency-free)")
+
+        if rel != "src/msp/flush_aggregator.cc" and FLUSH_SEND.search(line):
+            findings.append(
+                f"{rel}:{lineno}: [flush-send] kFlushRequest built outside "
+                "the flush aggregator; route the flush through "
+                "FlushAggregator::Submit so it can coalesce")
 
         # --- blocking-under-lock token scan ---------------------------------
         if not in_sim:

@@ -32,6 +32,15 @@ Msp::Msp(SimEnvironment* env, SimNetwork* network, SimDisk* disk,
   hist_request_ms_ = m.GetHistogram("msp.request_ms");
   hist_replay_ms_ = m.GetHistogram("msp.replay_ms");
   ctr_requests_ = m.GetCounter("msp.requests");
+
+  FlushAggregator::Options fopt;
+  fopt.self = config_.id;
+  fopt.coalesce = config_.coalesce_distributed_flushes;
+  fopt.max_rounds = config_.max_call_sends;
+  flush_agg_ = std::make_unique<FlushAggregator>(
+      env_, fopt, [this](const MspId& peer, const Bytes& wire) {
+        network_->Send(config_.id, peer, wire);
+      });
 }
 
 Msp::~Msp() {
@@ -91,6 +100,14 @@ Status Msp::Start() {
     lopt.on_physical_write = [this] { ChargeCpu(config_.cpu_per_flush_ms); };
   }
   log_ = std::make_unique<LogFile>(env_, disk_, config_.id + ".log", lopt);
+  inbound_flush_ = std::make_unique<InboundFlushCoalescer>(
+      env_,
+      // audit:allow(blocking-under-lock): lambda runs on control-pool
+      // threads when requests drain, not under the lifecycle lock here.
+      [this](uint64_t flush_sn) { return log_->FlushUpTo(flush_sn); },
+      [this](const InboundFlushCoalescer::Request& r) {
+        SendFlushReply(r.sender, r.flush_id, /*ok=*/true, 0, 0);
+      });
   pool_ = std::make_unique<ThreadPool>(config_.thread_pool_size);
   control_pool_ = std::make_unique<ThreadPool>(2);
   {
@@ -101,10 +118,7 @@ Status Msp::Start() {
     audit::LockGuard lk(table_mu_);
     recovered_table_.Clear();
   }
-  {
-    audit::LockGuard lk(watermark_mu_);
-    flushed_watermark_.clear();
-  }
+  flush_agg_->Reset();
   {
     audit::LockGuard lk(cp_mu_);
     cp_stop_ = false;
@@ -174,14 +188,9 @@ void Msp::CrashLocked() {
       pc->cv.notify_all();
     }
   }
-  {
-    audit::LockGuard lk(flush_mu_);
-    for (auto& [key, pf] : pending_flushes_) {
-      audit::LockGuard plk(pf->mu);
-      pf->failed = true;
-      pf->cv.notify_all();
-    }
-  }
+  // Fail every in-flight and queued distributed-flush leg: waiters wake,
+  // see crashed, and no aggregator state leaks into the next incarnation.
+  flush_agg_->FailAll();
   {
     audit::LockGuard lk(cp_mu_);
     cp_stop_ = true;
@@ -218,10 +227,7 @@ void Msp::CrashLocked() {
     audit::LockGuard lk(calls_mu_);
     pending_calls_.clear();
   }
-  {
-    audit::LockGuard lk(flush_mu_);
-    pending_flushes_.clear();
-  }
+  inbound_flush_.reset();
   psession_db_.reset();
   pool_.reset();
   control_pool_.reset();
@@ -997,7 +1003,7 @@ Status Msp::DistributedFlush(const DependencyVector& dv,
                         /*session=*/"", /*seqno=*/0,
                         "dv_entries=" + std::to_string(dv.entry_count()),
                         fspan);
-  Status st = DistributedFlushImpl(dv);
+  Status st = DistributedFlushImpl(dv, fspan);
   double t1 = env_->NowModelMs();
   hist_flush_wait_ms_->Record(t1 - t0);
   env_->tracer().Record(obs::TraceEventType::kDistFlushEnd, t1, config_.id,
@@ -1006,52 +1012,32 @@ Status Msp::DistributedFlush(const DependencyVector& dv,
   return st;
 }
 
-Status Msp::DistributedFlushImpl(const DependencyVector& dv) {
+Status Msp::DistributedFlushImpl(const DependencyVector& dv,
+                                 const obs::SpanContext& span) {
   env_->stats().distributed_flushes.fetch_add(1);
 
-  struct Leg {
-    MspId peer;
-    StateId id;
-    uint64_t flush_id;
-    std::shared_ptr<PendingFlush> pf;
-    Bytes wire;
-  };
-  std::vector<Leg> legs;
-
-  // Launch the peer legs first so they run in parallel with the local one.
+  // Submit the peer legs first so they run in parallel with the local one.
+  // The aggregator decides, under one lock pass per leg, whether it is
+  // already covered by the durable watermark (skip), rides an in-flight
+  // request (join), accumulates behind one (queue), or launches a flight.
+  auto call = std::make_shared<FlushCall>();
+  std::vector<std::shared_ptr<FlushWaiter>> waiters;
   for (const auto& [msp, id] : dv.entries()) {
     if (msp == config_.id) continue;
     if (!IntraDomain(msp)) continue;  // cross-domain deps never exist
-    {
-      audit::LockGuard lk(watermark_mu_);
-      auto it = flushed_watermark_.find(msp);
-      if (it != flushed_watermark_.end() && id <= it->second) {
-        continue;  // already durable at the peer
-      }
-    }
-    Leg leg;
-    leg.peer = msp;
-    leg.id = id;
-    leg.pf = std::make_shared<PendingFlush>();
-    {
-      audit::LockGuard lk(flush_mu_);
-      leg.flush_id = next_flush_id_++;
-      pending_flushes_[leg.flush_id] = leg.pf;
-    }
-    Message fm;
-    fm.type = MessageType::kFlushRequest;
-    fm.sender = config_.id;
-    fm.flush_id = leg.flush_id;
-    fm.epoch = id.epoch;
-    fm.flush_sn = id.sn;
-    leg.wire = fm.Encode();
-    network_->Send(config_.id, msp, leg.wire);
-    legs.push_back(std::move(leg));
+    auto w = flush_agg_->Submit(msp, id, call, span);
+    if (w) waiters.push_back(std::move(w));
   }
 
-  auto cleanup = [&] {
-    audit::LockGuard lk(flush_mu_);
-    for (auto& leg : legs) pending_flushes_.erase(leg.flush_id);
+  auto abandon_unsettled = [&] {
+    for (auto& w : waiters) {
+      bool settled;
+      {
+        audit::LockGuard lk(call->mu);
+        settled = w->settled;
+      }
+      if (!settled) flush_agg_->Abandon(w);
+    }
   };
 
   // Local leg (skipped when the durable watermark already covers it).
@@ -1060,130 +1046,149 @@ Status Msp::DistributedFlushImpl(const DependencyVector& dv) {
       self->sn < log_->end_lsn() && self->sn >= log_->durable_lsn()) {
     Status st = log_->FlushUpTo(self->sn);
     if (!st.ok()) {
-      cleanup();
+      abandon_unsettled();
       return st;
     }
   }
 
-  // Await the peer legs, resending on timeout (the peer may be mid-crash;
-  // once it recovers it either confirms durability or reports the recovered
-  // state number that proves we are an orphan).
-  Status result = Status::OK();
-  for (auto& leg : legs) {
-    uint32_t rounds = 0;
-    while (true) {
-      bool settled = false;
-      bool failed = false;
-      bool done = false;
-      Message reply;
-      {
-        // Snapshot everything under pf->mu: a late reply can land right
-        // after a timed-out wait, racing unlocked reads of done/reply.
-        audit::UniqueLock lk(leg.pf->mu);
-        settled = leg.pf->cv.wait_for(
-            lk, std::chrono::milliseconds(RealWaitMs(config_.flush_timeout_ms)),
-            [&] { return leg.pf->done || leg.pf->failed; });
-        failed = leg.pf->failed;
-        done = leg.pf->done;
-        if (done) reply = leg.pf->reply;
-      }
-      if (state_.load() == State::kCrashed || failed) {
-        cleanup();
-        return Status::Crashed("MSP crashed during distributed flush");
-      }
-      if (settled && done) {
-        const Message& m = reply;
-        if (m.flush_ok) {
-          audit::LockGuard lk(watermark_mu_);
-          auto it = flushed_watermark_.find(leg.peer);
-          if (it == flushed_watermark_.end() || it->second < leg.id) {
-            flushed_watermark_[leg.peer] = leg.id;
-          }
-          break;
-        }
-        if (m.rec_epoch == 0) {
-          // Non-authoritative failure (epochs start at 1): retry.
-        } else {
-          // The peer's recovery provably lost our dependency: orphan.
-          {
-            audit::LockGuard lk(table_mu_);
-            recovered_table_.Record(leg.peer, m.rec_epoch, m.rec_sn);
-          }
-          env_->stats().orphans_detected.fetch_add(1);
-          env_->tracer().Record(obs::TraceEventType::kOrphanDetected,
-                                env_->NowModelMs(), config_.id,
-                                /*session=*/"", /*seqno=*/0,
-                                "flush_leg=" + leg.peer);
-          result = Status::Orphan("flush failed at " + leg.peer);
-          break;
-        }
-      }
-      if (++rounds > config_.max_call_sends) {
-        cleanup();
-        return Status::TimedOut("distributed flush to " + leg.peer);
-      }
-      network_->Send(config_.id, leg.peer, leg.wire);
+  // One deadline-driven wait across ALL legs (no per-leg serialization): a
+  // slow first peer no longer delays settled later legs' bookkeeping. Wake
+  // when every leg settled or any settled leg failed; after a timeout round
+  // with no settlement, the aggregator resends each stalled flight at most
+  // once per round and eventually times the flight out (max_rounds). The
+  // peer may be mid-crash; once it recovers it either confirms durability
+  // or reports the recovered state number that proves we are an orphan.
+  while (!waiters.empty()) {
+    bool all_settled;
+    bool fatal;
+    {
+      audit::UniqueLock lk(call->mu);
+      call->cv.wait_for(
+          lk, std::chrono::milliseconds(RealWaitMs(config_.flush_timeout_ms)),
+          [&] { return call->unsettled == 0 || call->fatal; });
+      all_settled = call->unsettled == 0;
+      fatal = call->fatal;
     }
-    if (result.IsOrphan()) break;
+    if (all_settled || fatal || state_.load() == State::kCrashed) break;
+    for (auto& w : waiters) flush_agg_->OnWaitTimeout(w);
   }
-  cleanup();
-  return result;
+
+  // Harvest outcomes. Precedence mirrors the old per-leg loop: crash wins,
+  // then orphan-hood (recording every peer's recovered state number), then
+  // timeout. Legs still unsettled after an early exit are abandoned — their
+  // outcome no longer matters to this call.
+  bool crashed = state_.load() == State::kCrashed;
+  MspId orphan_peer;
+  MspId timeout_peer;
+  for (auto& w : waiters) {
+    bool settled, ok, t_out, w_crashed;
+    uint32_t oe;
+    uint64_t osn;
+    {
+      audit::LockGuard lk(call->mu);
+      settled = w->settled;
+      ok = w->ok;
+      t_out = w->timed_out;
+      w_crashed = w->crashed;
+      oe = w->orphan_epoch;
+      osn = w->orphan_sn;
+    }
+    if (!settled) {
+      flush_agg_->Abandon(w);
+      continue;
+    }
+    if (ok) continue;
+    if (w_crashed) {
+      crashed = true;
+    } else if (oe != 0) {
+      // The peer's recovery provably lost our dependency: orphan.
+      {
+        audit::LockGuard lk(table_mu_);
+        recovered_table_.Record(w->peer, oe, osn);
+      }
+      env_->stats().orphans_detected.fetch_add(1);
+      env_->tracer().Record(obs::TraceEventType::kOrphanDetected,
+                            env_->NowModelMs(), config_.id,
+                            /*session=*/"", /*seqno=*/0,
+                            "flush_leg=" + w->peer);
+      if (orphan_peer.empty()) orphan_peer = w->peer;
+    } else if (t_out && timeout_peer.empty()) {
+      timeout_peer = w->peer;
+    }
+  }
+  if (crashed) return Status::Crashed("MSP crashed during distributed flush");
+  if (!orphan_peer.empty()) return Status::Orphan("flush failed at " + orphan_peer);
+  if (!timeout_peer.empty()) {
+    return Status::TimedOut("distributed flush to " + timeout_peer);
+  }
+  return Status::OK();
 }
 
-void Msp::HandleFlushRequest(Message m) {
+void Msp::SendFlushReply(const std::string& to, uint64_t flush_id, bool ok,
+                         uint32_t rec_epoch, uint64_t rec_sn) {
   Message r;
   r.type = MessageType::kFlushReply;
   r.sender = config_.id;
-  r.flush_id = m.flush_id;
+  r.flush_id = flush_id;
+  r.flush_ok = ok;
+  r.rec_epoch = rec_epoch;
+  r.rec_sn = rec_sn;
+  network_->Send(config_.id, to, r.Encode());
+}
+
+void Msp::HandleFlushRequest(Message m) {
   uint32_t cur_epoch = epoch_.load();
   if (m.epoch == cur_epoch && log_) {
     if (m.flush_sn < log_->durable_lsn()) {
-      r.flush_ok = true;  // already durable: no write needed
+      // Already durable: no write needed.
+      SendFlushReply(m.sender, m.flush_id, /*ok=*/true, 0, 0);
     } else if (m.flush_sn < log_->end_lsn()) {
-      if (!log_->FlushUpTo(m.flush_sn).ok()) {
-        // We are crashing mid-flush. NEVER report a failure for the
-        // current epoch — that would amount to announcing a recovered
-        // state number for an epoch that has not ended, poisoning the
-        // requester's table. Stay silent; the requester retries and our
-        // recovery will give the authoritative answer.
-        return;
+      if (config_.coalesce_distributed_flushes && inbound_flush_) {
+        // Group commit: concurrent requests drain through one batching
+        // loop — a single FlushUpTo to the batch maximum answers them all.
+        inbound_flush_->Enqueue({m.sender, m.flush_id, m.flush_sn});
+      } else if (log_->FlushUpTo(m.flush_sn).ok()) {
+        SendFlushReply(m.sender, m.flush_id, /*ok=*/true, 0, 0);
       }
-      r.flush_ok = true;
-    } else {
-      // An sn from our current epoch that we do not know (should not
-      // happen); drop rather than guess.
-      return;
+      // FlushUpTo failure means we are crashing mid-flush. NEVER report a
+      // failure for the current epoch — that would amount to announcing a
+      // recovered state number for an epoch that has not ended, poisoning
+      // the requester's table. Stay silent; the requester retries and our
+      // recovery will give the authoritative answer.
     }
-  } else if (m.epoch < cur_epoch) {
-    // The epoch already ended: the sn is durable iff it survived recovery.
-    audit::LockGuard lk(table_mu_);
-    auto rsn = recovered_table_.RecoveredSn(config_.id, m.epoch);
-    r.flush_ok = rsn.has_value() && *rsn >= m.flush_sn;
-    if (!r.flush_ok) {
-      // Authoritative failure: the epoch ended at rec_sn < flush_sn.
-      r.rec_epoch = m.epoch;
-      r.rec_sn = rsn.value_or(0);
-    }
-  } else {
-    return;  // request from our future (stale routing): drop
+    // else: an sn from our current epoch that we do not know (should not
+    // happen); drop rather than guess.
+    return;
   }
-  network_->Send(config_.id, m.sender, r.Encode());
+  if (m.epoch < cur_epoch) {
+    // The epoch already ended: the sn is durable iff it survived recovery.
+    bool ok;
+    uint32_t rec_epoch = 0;
+    uint64_t rec_sn = 0;
+    {
+      audit::LockGuard lk(table_mu_);
+      auto rsn = recovered_table_.RecoveredSn(config_.id, m.epoch);
+      ok = rsn.has_value() && *rsn >= m.flush_sn;
+      if (!ok) {
+        // Authoritative failure: the epoch ended at rec_sn < flush_sn.
+        rec_epoch = m.epoch;
+        rec_sn = rsn.value_or(0);
+      }
+    }
+    SendFlushReply(m.sender, m.flush_id, ok, rec_epoch, rec_sn);
+    return;
+  }
+  // Request from our future (stale routing): drop.
 }
 
-void Msp::HandleFlushReply(Message m) {
-  std::shared_ptr<PendingFlush> pf;
-  {
-    audit::LockGuard lk(flush_mu_);
-    auto it = pending_flushes_.find(m.flush_id);
-    if (it == pending_flushes_.end()) return;  // stale/duplicate
-    pf = it->second;
-  }
-  {
-    audit::LockGuard lk(pf->mu);
-    pf->reply = std::move(m);
-    pf->done = true;
-  }
-  pf->cv.notify_all();
+void Msp::HandleFlushReply(Message m) { flush_agg_->HandleReply(m); }
+
+size_t Msp::PendingFlushLegsForTest() const {
+  return flush_agg_->WaiterCountForTest();
+}
+
+size_t Msp::InFlightFlushesForTest() const {
+  return flush_agg_->InFlightForTest();
 }
 
 void Msp::HandleReplyMsg(Message m) {
@@ -1505,6 +1510,33 @@ std::string Msp::DumpStatusz() const {
     out += "\"recoveries\":" + std::to_string(n) + ",";
   }
   out += "\"requests\":" + std::to_string(ctr_requests_->Value()) + ",";
+
+  // Distributed-flush group commit (shared registry: sums over every MSP in
+  // this environment; in-flight/pending legs are this MSP's own).
+  {
+    obs::MetricsRegistry& m = env_->metrics();
+    out += "\"flush\":{";
+    out += "\"legs_requested\":" +
+           std::to_string(m.GetCounter("flush.legs_requested")->Value()) + ",";
+    out += "\"legs_coalesced\":" +
+           std::to_string(m.GetCounter("flush.legs_coalesced")->Value()) + ",";
+    out += "\"messages_saved\":" +
+           std::to_string(m.GetCounter("flush.messages_saved")->Value()) + ",";
+    out += "\"watermark_skips\":" +
+           std::to_string(m.GetCounter("flush.watermark_skips")->Value()) + ",";
+    out += "\"requests_sent\":" +
+           std::to_string(m.GetCounter("flush.requests_sent")->Value()) + ",";
+    out += "\"peer_flushes_saved\":" +
+           std::to_string(m.GetCounter("flush.peer_flushes_saved")->Value()) +
+           ",";
+    out += "\"in_flight\":" + std::to_string(flush_agg_->InFlightForTest()) +
+           ",";
+    out += "\"pending_legs\":" +
+           std::to_string(flush_agg_->WaiterCountForTest()) + ",";
+    out += "\"flight_batch\":" +
+           obs::SnapshotJson(m.GetHistogram("flush.flight_batch")->Snap());
+    out += "},";
+  }
   out += "\"histograms\":{";
   out += "\"queue_wait_ms\":" + obs::SnapshotJson(hist_queue_wait_ms_->Snap());
   out += ",\"execute_ms\":" + obs::SnapshotJson(hist_execute_ms_->Snap());

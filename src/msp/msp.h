@@ -41,6 +41,7 @@
 #include "db/kvdb.h"
 #include "log/log_anchor.h"
 #include "log/log_file.h"
+#include "msp/flush_aggregator.h"
 #include "msp/msp_config.h"
 #include "msp/service_context.h"
 #include "msp/service_domain.h"
@@ -118,6 +119,12 @@ class Msp {
   size_t SessionCount() const;
   RecoveredStateTable SnapshotRecoveredTable() const;
 
+  /// Unsettled distributed-flush legs (joined to flights + queued) held by
+  /// the flush aggregator; 0 after a crash proves no leaked flush state.
+  size_t PendingFlushLegsForTest() const;
+  /// In-flight coalesced flush requests (one per open flight).
+  size_t InFlightFlushesForTest() const;
+
   /// Structured timeline of the most recent crash recovery: analysis-scan
   /// duration and volume, per-session replay phases, parallelism achieved,
   /// and orphan-recovery events observed since that recovery started.
@@ -171,6 +178,8 @@ class Msp {
   void HandleFlushReply(Message m);
   void HandleRecoveryAnnounce(Message m);
   void SendBusyReply(const Message& req);
+  void SendFlushReply(const std::string& to, uint64_t flush_id, bool ok,
+                      uint32_t rec_epoch, uint64_t rec_sn);
 
   // ---- request processing ----
   void ProcessRequest(const std::shared_ptr<Session>& s, const Message& m,
@@ -209,7 +218,11 @@ class Msp {
   /// request span stalled on this flush; the flush records a child span.
   Status DistributedFlush(const DependencyVector& dv,
                           const obs::SpanContext& span = {});
-  Status DistributedFlushImpl(const DependencyVector& dv);
+  /// Submits the peer legs to the flush aggregator (skip/join/queue/launch
+  /// decided per leg), flushes the local leg, then awaits every leg with a
+  /// single deadline-driven wait on one condition variable.
+  Status DistributedFlushImpl(const DependencyVector& dv,
+                              const obs::SpanContext& span);
 
   // ---- orphan machinery ----
   bool SessionIsOrphan(const Session* s) const;
@@ -302,21 +315,14 @@ class Msp {
   std::map<std::pair<std::string, uint64_t>, std::shared_ptr<PendingCall>>
       pending_calls_;
 
-  struct PendingFlush {
-    audit::Mutex mu{"msp.pending"};
-    audit::CondVar cv;
-    bool done = false;
-    bool failed = false;
-    Message reply;
-  };
-  audit::Mutex flush_mu_{"msp.flush"};
-  uint64_t next_flush_id_ = 1;
-  std::map<uint64_t, std::shared_ptr<PendingFlush>> pending_flushes_;
+  /// Sender-side group commit for distributed-flush legs: per-peer durable
+  /// watermark (skip), in-flight flight state (join/queue) and dispatch.
+  /// Created once; Reset() on Start, FailAll() on crash.
+  std::unique_ptr<FlushAggregator> flush_agg_;
+  /// Receiver-side group commit: concurrent kFlushRequests ride one
+  /// LogFile::FlushUpTo. Rebuilt on every Start (binds the fresh log).
+  std::unique_ptr<InboundFlushCoalescer> inbound_flush_;
 
-  /// Highest (epoch, sn) per peer we know to be durable there — lets a
-  /// distributed flush skip request legs for dependencies flushed earlier.
-  audit::Mutex watermark_mu_{"msp.watermark"};
-  std::map<MspId, StateId> flushed_watermark_;
   /// Serializes MSP checkpoints.
   audit::Mutex msp_cp_mu_{"msp.msp_cp"};
   /// The single CPU core (config.single_core_cpu).

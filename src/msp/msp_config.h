@@ -38,6 +38,12 @@ struct MspConfig {
   /// several ride one physical write.
   bool batch_flush = false;
   double batch_timeout_ms = 8.0;
+  /// Group-commit the peer legs of distributed flushes (the distributed
+  /// analogue of §5.5 batch flushing): concurrent legs toward the same peer
+  /// join or accumulate behind one in-flight "flush up to" request, and the
+  /// receiver serves concurrent requests from one physical flush. When
+  /// false, every leg sends its own kFlushRequest (per-request behaviour).
+  bool coalesce_distributed_flushes = true;
 
   // ---- checkpointing (§3.2–§3.4) ----
   /// Take a session checkpoint once this much log was written for the

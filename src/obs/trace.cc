@@ -33,6 +33,8 @@ const char* TraceEventTypeName(TraceEventType t) {
     case TraceEventType::kDequeue: return "Dequeue";
     case TraceEventType::kClientCallStart: return "ClientCallStart";
     case TraceEventType::kClientCallEnd: return "ClientCallEnd";
+    case TraceEventType::kFlushFlightLaunch: return "FlushFlightLaunch";
+    case TraceEventType::kFlushLegJoin: return "FlushLegJoin";
   }
   return "?";
 }

@@ -63,6 +63,8 @@ enum class TraceEventType : uint8_t {
   kDequeue,           ///< session worker picked the request up
   kClientCallStart,   ///< client endpoint begins a synchronous call
   kClientCallEnd,     ///< matching reply accepted (or the call gave up)
+  kFlushFlightLaunch, ///< distributed-flush flight (kFlushRequest) sent
+  kFlushLegJoin,      ///< a flush leg joined an in-flight request
 };
 
 const char* TraceEventTypeName(TraceEventType t);

@@ -19,8 +19,12 @@ enum class MessageType : uint8_t {
   kInvalid = 0,
   kRequest = 1,
   kReply = 2,
-  /// Ask a peer to flush its log through `flush_sn` of epoch `epoch`
-  /// (one leg of a distributed log flush, §3.1).
+  /// Ask a peer to flush its log **up to** `flush_sn` of epoch `epoch` —
+  /// an ARIES-style "flush up to LSN" bound, not a point request: one leg
+  /// of a distributed log flush (§3.1) whose completion also covers every
+  /// coalesced leg with a smaller state number of the same epoch. Built
+  /// exclusively by the flush aggregator (msp/flush_aggregator.h), which
+  /// group-commits concurrent legs per peer.
   kFlushRequest = 3,
   kFlushReply = 4,
   /// Broadcast after crash recovery: "I ended epoch `rec_epoch` recovered

@@ -330,14 +330,15 @@ TEST_F(StatsTest, TracerRecordsExactLifecycleForOneRequest) {
   }
 
   // The full chain on alpha for one intra-domain request with an end-client
-  // reply: enqueue → dequeue → execute → distributed flush (one local log
-  // write) → reply. Nothing else may interleave on this actor.
+  // reply: enqueue → dequeue → execute → distributed flush (one flight
+  // launched toward beta, one local log write) → reply. Nothing else may
+  // interleave on this actor.
   const std::vector<TraceEventType> want = {
-      TraceEventType::kEnqueue,         TraceEventType::kDequeue,
-      TraceEventType::kExecStart,       TraceEventType::kExecEnd,
-      TraceEventType::kDistFlushStart,  TraceEventType::kLocalFlushStart,
-      TraceEventType::kLocalFlushEnd,   TraceEventType::kDistFlushEnd,
-      TraceEventType::kReplySent,
+      TraceEventType::kEnqueue,           TraceEventType::kDequeue,
+      TraceEventType::kExecStart,         TraceEventType::kExecEnd,
+      TraceEventType::kDistFlushStart,    TraceEventType::kFlushFlightLaunch,
+      TraceEventType::kLocalFlushStart,   TraceEventType::kLocalFlushEnd,
+      TraceEventType::kDistFlushEnd,      TraceEventType::kReplySent,
   };
   ASSERT_EQ(got.size(), want.size()) << env_.tracer().DumpJson();
   for (size_t i = 0; i < want.size(); ++i) {
@@ -351,13 +352,13 @@ TEST_F(StatsTest, TracerRecordsExactLifecycleForOneRequest) {
     EXPECT_GT(got[i].seq, got[i - 1].seq) << "event " << i;
   }
   // Request-scoped events carry the session id and the request seqno.
-  for (size_t i : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{8}}) {
+  for (size_t i : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{9}}) {
     EXPECT_EQ(got[i].session, session.session_id);
     EXPECT_EQ(got[i].seqno, session.next_seqno - 1);
   }
   // The log-flush pair is attributed to alpha's log file.
-  EXPECT_EQ(got[5].actor, "alpha.log");
   EXPECT_EQ(got[6].actor, "alpha.log");
+  EXPECT_EQ(got[7].actor, "alpha.log");
   EXPECT_EQ(env_.tracer().dropped(), 0u);
 
   // Causal-tracing span contract: every request-scoped event on alpha shares
@@ -367,14 +368,17 @@ TEST_F(StatsTest, TracerRecordsExactLifecycleForOneRequest) {
   EXPECT_TRUE(s1.valid());
   EXPECT_NE(s1.span_id, 0u);
   EXPECT_NE(s1.parent_span_id, 0u);  // parented under the client root
-  for (size_t i : {size_t{1}, size_t{2}, size_t{3}, size_t{8}}) {
+  for (size_t i : {size_t{1}, size_t{2}, size_t{3}, size_t{9}}) {
     EXPECT_EQ(got[i].span.trace_id, s1.trace_id) << "event " << i;
     EXPECT_EQ(got[i].span.span_id, s1.span_id) << "event " << i;
   }
   EXPECT_EQ(got[4].span.trace_id, s1.trace_id);
   EXPECT_EQ(got[4].span.parent_span_id, s1.span_id);
   EXPECT_NE(got[4].span.span_id, s1.span_id);
-  EXPECT_EQ(got[7].span.span_id, got[4].span.span_id);
+  EXPECT_EQ(got[8].span.span_id, got[4].span.span_id);
+  // The flight toward beta is its own span, a child of the dist-flush span.
+  EXPECT_EQ(got[5].span.trace_id, s1.trace_id);
+  EXPECT_EQ(got[5].span.parent_span_id, got[4].span.span_id);
   // The client endpoint recorded the root span bracketing the whole call.
   auto all_events = env_.tracer().Events();
   const obs::TraceEvent* root_ev = nullptr;
