@@ -22,6 +22,8 @@
 
 #include "bench_util.h"
 #include "msp/msp.h"
+#include "obs/blame.h"
+#include "obs/session_stats.h"
 #include "msp/service_domain.h"
 #include "rpc/client_endpoint.h"
 #include "sim/sim_disk.h"
@@ -45,6 +47,8 @@ struct Result {
   uint64_t peer_flushes_saved = 0;
   uint64_t messages_sent = 0;
   uint64_t disk_flushes = 0;
+  std::string telemetry_json = "[]";  ///< per-session SessionStats, all MSPs
+  std::string blame_json = "{}";      ///< p99 tail-latency attribution
 };
 
 Result Measure(int clients, bool coalesce, int requests_per_client) {
@@ -152,6 +156,14 @@ Result Measure(int clients, bool coalesce, int requests_per_client) {
   auto s1 = env.stats().Snap();
   out.messages_sent = s1.messages_sent - s0.messages_sent;
   out.disk_flushes = s1.disk_flushes - s0.disk_flushes;
+  std::vector<obs::SessionStatsSnapshot> tel = srv0.SessionTelemetry();
+  for (Msp* other : {&srv1, &peer}) {
+    std::vector<obs::SessionStatsSnapshot> t = other->SessionTelemetry();
+    tel.insert(tel.end(), t.begin(), t.end());
+  }
+  out.telemetry_json = obs::SessionTelemetryJson(tel);
+  out.blame_json =
+      obs::AttributeTailQuantile(env.tracer().Events(), 0.99).ToJson();
   srv0.Shutdown();
   srv1.Shutdown();
   peer.Shutdown();
@@ -176,7 +188,9 @@ void Emit(int clients, bool coalesce, const Result& r) {
       .Add("flush_requests_sent", r.flush_requests_sent)
       .Add("peer_flushes_saved", r.peer_flushes_saved)
       .Add("messages_sent", r.messages_sent)
-      .Add("disk_flushes", r.disk_flushes);
+      .Add("disk_flushes", r.disk_flushes)
+      .AddRaw("session_telemetry", r.telemetry_json)
+      .AddRaw("p99_blame", r.blame_json);
   bench::EmitJson("flush_coalescing", j);
 }
 

@@ -20,6 +20,26 @@ REQUIRED_TOP = ["bench", "requests", "avg_ms", "p50_ms", "p90_ms", "p99_ms"]
 REQUIRED_HIST = ["count", "mean", "p50", "p90", "p99", "min", "max"]
 HIST_KEYS = ["response", "queue_wait", "execute", "flush_wait"]
 
+# Benches that must also carry per-session telemetry and a p99 blame
+# breakdown (the observability sections, validated structurally below).
+TELEMETRY_BENCHES = {
+    "fig14_response_time", "fig14_scraper_overhead", "flush_coalescing",
+}
+REQUIRED_SESSION = [
+    "session", "requests", "nested_calls", "max_request_fanout",
+    "cross_domain_calls", "flush_stalls", "flush_stall_ms", "log_records",
+    "log_bytes", "forced_flushes", "piggybacked_sends", "checkpoints",
+    "replays", "dv_entries", "calls_by_peer",
+]
+REQUIRED_BLAME = [
+    "threshold_ms", "traces_total", "traces_slow", "traces_incomplete",
+    "total_ms", "buckets", "shares",
+]
+BLAME_BUCKETS = [
+    "queue_wait_ms", "exec_ms", "local_flush_ms", "remote_flush_ms",
+    "net_resend_ms", "other_ms",
+]
+
 
 def fail(msg):
     print("check_bench_json: FAIL: %s" % msg, file=sys.stderr)
@@ -37,6 +57,62 @@ def check_hist(name, h):
     if h["count"] > 0:
         if not (h["min"] <= h["p50"] <= h["p90"] <= h["p99"] <= h["max"]):
             fail("%s quantiles not monotonic: %r" % (name, h))
+
+
+def check_telemetry(bench, tel):
+    if not isinstance(tel, list):
+        fail("%s session_telemetry is not a list: %r" % (bench, tel))
+    if not tel:
+        fail("%s session_telemetry is empty — the MSP hot paths did not "
+             "record any per-session stats" % bench)
+    total_requests = 0
+    for s in tel:
+        if not isinstance(s, dict):
+            fail("%s session_telemetry entry not an object: %r" % (bench, s))
+        for k in REQUIRED_SESSION:
+            if k not in s:
+                fail("%s session %r missing field %r (has %s)"
+                     % (bench, s.get("session"), k, sorted(s)))
+        if not isinstance(s["calls_by_peer"], dict):
+            fail("%s session %r calls_by_peer not an object"
+                 % (bench, s["session"]))
+        if sum(s["calls_by_peer"].values()) > s["nested_calls"]:
+            fail("%s session %r: per-peer calls (%d) exceed nested_calls (%d)"
+                 % (bench, s["session"], sum(s["calls_by_peer"].values()),
+                    s["nested_calls"]))
+        if s["flush_stalls"] > 0 and s["flush_stall_ms"] <= 0:
+            fail("%s session %r: %d flush stalls but zero stall time"
+                 % (bench, s["session"], s["flush_stalls"]))
+        total_requests += s["requests"]
+    if total_requests == 0:
+        fail("%s session_telemetry reports zero requests across all sessions"
+             % bench)
+
+
+def check_blame(bench, b):
+    if not isinstance(b, dict):
+        fail("%s p99_blame is not an object: %r" % (bench, b))
+    for k in REQUIRED_BLAME:
+        if k not in b:
+            fail("%s p99_blame missing field %r (has %s)"
+                 % (bench, k, sorted(b)))
+    for k in BLAME_BUCKETS:
+        if k not in b["buckets"]:
+            fail("%s p99_blame buckets missing %r" % (bench, k))
+        if b["buckets"][k] < 0:
+            fail("%s p99_blame bucket %r negative: %r" % (bench, k, b))
+    if b["traces_slow"] > b["traces_total"]:
+        fail("%s p99_blame slow > total: %r" % (bench, b))
+    if b["traces_slow"] > 0:
+        if b["total_ms"] <= 0:
+            fail("%s p99_blame has slow traces but zero total time: %r"
+                 % (bench, b))
+        # Buckets partition total_ms ('other' absorbs the remainder), so
+        # shares must sum to ~1.
+        share_sum = sum(b["shares"].values())
+        if not 0.99 <= share_sum <= 1.01:
+            fail("%s p99_blame shares sum to %.4f, expected ~1: %r"
+                 % (bench, share_sum, b))
 
 
 def main():
@@ -80,6 +156,13 @@ def main():
         # The server must have attributed work to the breakdowns.
         if "execute" in blob and blob["execute"]["count"] == 0:
             fail("execute histogram recorded nothing: %r" % blob)
+        if blob["bench"] in TELEMETRY_BENCHES:
+            if "session_telemetry" not in blob:
+                fail("%s blob missing session_telemetry" % blob["bench"])
+            if "p99_blame" not in blob:
+                fail("%s blob missing p99_blame" % blob["bench"])
+            check_telemetry(blob["bench"], blob["session_telemetry"])
+            check_blame(blob["bench"], blob["p99_blame"])
 
     print("check_bench_json: OK (%d blob(s) from %s)"
           % (len(blobs), " ".join(cmd)))

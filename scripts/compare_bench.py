@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Continuous perf-regression oracle: diff a bench's BENCH_JSON output
+against a checked-in baseline with per-metric tolerance bands.
+
+Usage:
+  compare_bench.py --baseline FILE <bench-binary> [args...]
+  compare_bench.py --baseline FILE --update <bench-binary> [args...]
+  compare_bench.py --self-test
+
+Modes:
+  default      Run the binary, match each emitted blob to a baseline row by
+               its identifying fields, and check every metric listed in the
+               row against its tolerance band. Exit 1 on any violation, on
+               an emitted blob with no baseline row, or on a baseline row
+               that no blob matched. Writes a human-readable report (see
+               --report) either way.
+  --update     Run the binary and regenerate the baseline file from what it
+               emitted, preserving each metric's tolerance spec. This is the
+               supported way to refresh baselines after an intentional perf
+               change (see docs/OBSERVABILITY.md).
+  --self-test  Negative test for CI: build a fake result and a baseline,
+               verify the comparator accepts an in-band value and rejects an
+               out-of-band one. No binary is run.
+
+Baseline format (bench/baselines/*.json):
+  {
+    "bench": "fig14_response_time",       # BENCH_JSON "bench" name to match
+    "key_fields": ["config", "m"],        # identify a row within the bench
+    "rows": [
+      {
+        "key": {"config": "LoOptimistic", "m": 1},
+        "metrics": {
+          "avg_ms": {"value": 24.7, "rel_tol": 0.35, "direction": "high"},
+          ...
+        }
+      }
+    ]
+  }
+
+Metric spec fields:
+  value      Baseline value.
+  rel_tol    Allowed relative deviation (0.35 = 35%). Mutually exclusive
+             with "exact".
+  exact      true: the current value must equal the baseline exactly
+             (counters with deterministic expectations).
+  direction  "high" (default): only value > baseline*(1+rel_tol) fails —
+             a regression; improvements pass silently. "both": deviation in
+             either direction fails (for quantities that should be stable,
+             where "better" usually means the bench broke).
+
+Tolerances are wide by necessity: model time is wall-clock derived and this
+runs on shared CI machines. The oracle is meant to catch step-function
+regressions (an extra flush per request, a lost coalescing opportunity), not
+single-digit percent drift.
+"""
+import argparse
+import json
+import subprocess
+import sys
+
+
+def run_bench(cmd):
+    try:
+        out = subprocess.run(cmd, capture_output=True, text=True,
+                             timeout=600)
+    except subprocess.TimeoutExpired:
+        sys.exit("compare_bench: bench binary timed out: %s" % " ".join(cmd))
+    if out.returncode != 0:
+        sys.exit("compare_bench: bench binary exited %d:\n%s"
+                 % (out.returncode, out.stderr))
+    blobs = []
+    for line in out.stdout.splitlines():
+        if line.startswith("BENCH_JSON "):
+            blobs.append(json.loads(line[len("BENCH_JSON "):]))
+    if not blobs:
+        sys.exit("compare_bench: no BENCH_JSON lines from: %s"
+                 % " ".join(cmd))
+    return blobs
+
+
+def row_key(key_fields, obj):
+    return tuple((f, obj.get(f)) for f in key_fields)
+
+
+def check_metric(name, spec, current, failures):
+    base = spec["value"]
+    direction = spec.get("direction", "high")
+    if spec.get("exact"):
+        if current != base:
+            failures.append("%s: expected exactly %r, got %r"
+                            % (name, base, current))
+        return
+    tol = spec["rel_tol"]
+    if base == 0:
+        # Relative tolerance is meaningless at zero; any nonzero value of a
+        # zero baseline is a change worth flagging.
+        if current != 0:
+            failures.append("%s: baseline 0, got %r" % (name, current))
+        return
+    dev = (current - base) / abs(base)
+    if direction == "high":
+        bad = dev > tol
+    else:
+        bad = abs(dev) > tol
+    if bad:
+        failures.append(
+            "%s: %.6g vs baseline %.6g (%+.1f%%, tolerance %s%.0f%%)"
+            % (name, current, base, dev * 100.0,
+               "" if direction == "both" else "+", tol * 100.0))
+
+
+def compare(baseline, blobs, report_lines):
+    """Returns a list of failure strings (empty = pass)."""
+    failures = []
+    key_fields = baseline["key_fields"]
+    rows = {row_key(key_fields, r["key"]): r for r in baseline["rows"]}
+    matched = set()
+    for blob in blobs:
+        if blob.get("bench") != baseline["bench"]:
+            continue
+        k = row_key(key_fields, blob)
+        row = rows.get(k)
+        if row is None:
+            failures.append("no baseline row for %s" % dict(k))
+            continue
+        matched.add(k)
+        row_failures = []
+        for name, spec in row["metrics"].items():
+            if name not in blob:
+                row_failures.append("%s: missing from bench output" % name)
+                continue
+            check_metric(name, spec, blob[name], row_failures)
+        status = "FAIL" if row_failures else "ok"
+        report_lines.append("%-4s %s" % (status, dict(k)))
+        for name, spec in sorted(row["metrics"].items()):
+            if name in blob:
+                report_lines.append("      %-24s %10.6g  (baseline %.6g)"
+                                    % (name, blob[name], spec["value"]))
+        for f in row_failures:
+            report_lines.append("      ! %s" % f)
+            failures.append("%s: %s" % (dict(k), f))
+    for k in rows:
+        if k not in matched:
+            failures.append("baseline row never matched: %s" % dict(k))
+            report_lines.append("FAIL baseline row never matched: %s"
+                                % dict(k))
+    return failures
+
+
+def update(baseline, blobs, path):
+    key_fields = baseline["key_fields"]
+    by_key = {}
+    for blob in blobs:
+        if blob.get("bench") == baseline["bench"]:
+            by_key[row_key(key_fields, blob)] = blob
+    for row in baseline["rows"]:
+        k = row_key(key_fields, row["key"])
+        blob = by_key.get(k)
+        if blob is None:
+            sys.exit("compare_bench: --update: bench emitted no blob for "
+                     "baseline row %s" % dict(k))
+        for name, spec in row["metrics"].items():
+            if name not in blob:
+                sys.exit("compare_bench: --update: metric %r missing from "
+                         "blob %s" % (name, dict(k)))
+            spec["value"] = blob[name]
+    with open(path, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print("compare_bench: baseline %s updated (%d row(s))"
+          % (path, len(baseline["rows"])))
+
+
+def self_test():
+    baseline = {
+        "bench": "fake",
+        "key_fields": ["config"],
+        "rows": [{
+            "key": {"config": "X"},
+            "metrics": {
+                "avg_ms": {"value": 10.0, "rel_tol": 0.20,
+                           "direction": "high"},
+                "msgs": {"value": 4, "exact": True},
+                "stable": {"value": 100.0, "rel_tol": 0.10,
+                           "direction": "both"},
+            },
+        }],
+    }
+    good = [{"bench": "fake", "config": "X", "avg_ms": 11.0, "msgs": 4,
+             "stable": 95.0}]
+    # Out of band in all three ways: +50% on a 20% band, wrong exact
+    # counter, and a "both"-direction metric that improved too much.
+    bad = [{"bench": "fake", "config": "X", "avg_ms": 15.0, "msgs": 5,
+            "stable": 80.0}]
+    lines = []
+    if compare(baseline, good, lines):
+        sys.exit("compare_bench: self-test FAILED: in-band value rejected:\n"
+                 + "\n".join(lines))
+    lines = []
+    failures = compare(baseline, bad, lines)
+    if len(failures) != 3:
+        sys.exit("compare_bench: self-test FAILED: expected 3 rejections "
+                 "for out-of-band values, got %d:\n%s"
+                 % (len(failures), "\n".join(lines)))
+    # An improvement under direction "high" must pass.
+    lines = []
+    improved = [{"bench": "fake", "config": "X", "avg_ms": 5.0, "msgs": 4,
+                 "stable": 100.0}]
+    if compare(baseline, improved, lines):
+        sys.exit("compare_bench: self-test FAILED: improvement rejected:\n"
+                 + "\n".join(lines))
+    print("compare_bench: self-test OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(add_help=True)
+    ap.add_argument("--baseline")
+    ap.add_argument("--update", action="store_true")
+    ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("--report", help="write the comparison report here "
+                    "(default: stdout only)")
+    ap.add_argument("cmd", nargs=argparse.REMAINDER)
+    args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+    if not args.baseline or not args.cmd:
+        ap.error("--baseline FILE and a bench command are required "
+                 "(or use --self-test)")
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    blobs = run_bench(args.cmd)
+    if args.update:
+        update(baseline, blobs, args.baseline)
+        return
+    report_lines = ["compare_bench: %s vs %s" % (" ".join(args.cmd),
+                                                 args.baseline)]
+    failures = compare(baseline, blobs, report_lines)
+    report_lines.append("result: %s (%d failure(s))"
+                        % ("FAIL" if failures else "PASS", len(failures)))
+    report = "\n".join(report_lines) + "\n"
+    sys.stdout.write(report)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report)
+    if failures:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -46,6 +46,18 @@ std::string LogInspectReport::Summary() const {
     out += "torn tail at lsn " + Lsn(torn_tail_lsn) +
            " (normal after a crash)\n";
   }
+  if (!session_stats.empty()) {
+    out += "per-session stats:\n";
+    for (const auto& s : session_stats) {
+      out += "  " + s.session_id + ": requests=" +
+             std::to_string(s.requests) + " nested_calls=" +
+             std::to_string(s.nested_calls) + " records=" +
+             std::to_string(s.log_records) + " bytes=" +
+             std::to_string(s.log_bytes) + " checkpoints=" +
+             std::to_string(s.checkpoints) + " dv_entries=" +
+             std::to_string(s.dv_entries) + "\n";
+    }
+  }
   if (invariant_violations.empty()) {
     out += "invariants: OK\n";
   } else {
@@ -83,7 +95,11 @@ std::string LogInspectReport::ToJson() const {
     first = false;
     out += "\"" + obs::JsonEscape(v) + "\"";
   }
-  out += "]}";
+  out += "]";
+  if (!session_stats.empty()) {
+    out += ",\"session_stats\":" + obs::SessionTelemetryJson(session_stats);
+  }
+  out += "}";
   return out;
 }
 
@@ -103,6 +119,7 @@ Status InspectLogImage(SimDisk* disk, const std::string& file,
 
   std::map<std::string, std::vector<RequestRef>> requests;
   std::map<std::string, std::vector<CutRange>> cuts;
+  std::map<std::string, obs::SessionStatsSnapshot> sstats;
 
   uint64_t prev_record_lsn = 0;
   bool have_prev = false;
@@ -124,6 +141,32 @@ Status InspectLogImage(SimDisk* disk, const std::string& file,
     report->last_lsn = rec.lsn;
     report->records_by_type[LogRecordTypeName(rec.type)]++;
     if (!rec.session_id.empty()) report->records_by_session[rec.session_id]++;
+
+    if (opts.collect_session_stats && !rec.session_id.empty()) {
+      obs::SessionStatsSnapshot& ss = sstats[rec.session_id];
+      ss.session_id = rec.session_id;
+      ++ss.log_records;
+      // next_lsn() sits one past the frame just returned, so the delta is
+      // the record's exact on-log footprint, frame included.
+      ss.log_bytes += scanner.next_lsn() - rec.lsn;
+      switch (rec.type) {
+        case LogRecordType::kRequestReceive:
+          ++ss.requests;
+          break;
+        case LogRecordType::kReplyReceive:
+          // One logged reply receive per completed nested call; `target`
+          // names the callee.
+          ++ss.nested_calls;
+          if (!rec.target.empty()) ++ss.calls_by_peer[rec.target];
+          break;
+        case LogRecordType::kSessionCheckpoint:
+          ++ss.checkpoints;
+          break;
+        default:
+          break;
+      }
+      if (rec.has_dv) ss.dv_entries = rec.dv.entry_count();
+    }
 
     if (have_prev && rec.lsn <= prev_record_lsn) {
       report->invariant_violations.push_back(
@@ -242,6 +285,11 @@ Status InspectLogImage(SimDisk* disk, const std::string& file,
       prev_seqno = ref.seqno;
       prev_lsn = ref.lsn;
     }
+  }
+
+  for (auto& [id, ss] : sstats) {
+    (void)id;
+    report->session_stats.push_back(std::move(ss));
   }
 
   return Status::OK();

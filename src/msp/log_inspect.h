@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/session_stats.h"
 #include "sim/sim_disk.h"
 
 namespace msplog {
@@ -22,6 +23,10 @@ struct LogInspectOptions {
   bool dump_records = false;
   /// Also dump decoded session / MSP checkpoint contents.
   bool dump_checkpoints = false;
+  /// Reconstruct per-session record/byte/checkpoint stats from the image,
+  /// in the same SessionStatsSnapshot shape the live server reports, so
+  /// online telemetry and offline forensics diff cleanly.
+  bool collect_session_stats = false;
 };
 
 /// What the walk found. `invariant_violations` is the offline re-check of
@@ -50,6 +55,11 @@ struct LogInspectReport {
   bool torn_tail = false;
   uint64_t torn_tail_lsn = 0;
   std::vector<std::string> invariant_violations;
+  /// Per-session reconstruction (populated when
+  /// LogInspectOptions::collect_session_stats): requests, nested calls
+  /// (reply-receive records, by peer), log records/bytes, checkpoints, and
+  /// the last DV width seen — the offline subset of the live telemetry.
+  std::vector<obs::SessionStatsSnapshot> session_stats;
 
   /// Human-readable multi-line summary.
   std::string Summary() const;

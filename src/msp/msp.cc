@@ -530,6 +530,7 @@ Status Msp::ProcessRequestLogBased(Session* s, const Message& m,
   // Execute the service method.
   ExecContext ctx(this, s, ExecContext::Mode::kNormal, m.seqno, nullptr, span);
   Bytes result;
+  s->calls_in_request = 0;
   env_->tracer().Record(obs::TraceEventType::kExecStart, env_->NowModelMs(),
                         config_.id, s->id, m.seqno, m.method, span);
   double exec_t0 = env_->NowModelMs();
@@ -538,6 +539,10 @@ Status Msp::ProcessRequestLogBased(Session* s, const Message& m,
   hist_execute_ms_->Record(exec_t1 - exec_t0);
   env_->tracer().Record(obs::TraceEventType::kExecEnd, exec_t1, config_.id,
                         s->id, m.seqno, st.ok() ? "" : st.ToString(), span);
+  s->stats.OnRequest();
+  s->stats.OnRequestFanout(s->calls_in_request);
+  s->calls_in_request = 0;
+  s->stats.SetDvEntries(s->dv.entry_count());
   if (st.IsOrphan()) return RecoverSessionReplay(s);
   if (st.IsCrashed() || st.IsTimedOut()) return st;
 
@@ -592,11 +597,12 @@ Status Msp::SendReply(Session* s, ReplyCode code, const Bytes& payload,
       r.has_dv = true;
       r.dv = config_.per_session_dv ? s->dv : MspWideDv();
       env_->stats().dv_entries_attached.fetch_add(r.dv.entry_count());
+      s->stats.OnPiggybackedSend();
     } else {
       // Pessimistic: output messages must never become orphans (§2.3).
       DependencyVector flush_dv =
           config_.per_session_dv ? s->dv : MspWideDv();
-      MSPLOG_RETURN_IF_ERROR(DistributedFlush(flush_dv, span));
+      MSPLOG_RETURN_IF_ERROR(DistributedFlush(flush_dv, span, s));
       audit::CheckWalBeforeSend("reply to " + s->client, config_.id,
                                 epoch_.load(), flush_dv,
                                 log_->durable_lsn());
@@ -622,6 +628,7 @@ uint64_t Msp::AppendSessionRecord(Session* s, LogRecord rec) {
                               StateId{epoch_.load(), lsn});
   s->dv.Set(config_.id, StateId{epoch_.load(), lsn});
   s->bytes_logged_since_cp += framed;
+  s->stats.OnLogAppend(framed);
   return lsn;
 }
 
@@ -706,8 +713,11 @@ Status Msp::SharedWriteImpl(Session* s, const std::string& name,
   uint64_t lsn = log_->Append(rec, &framed);
   // The write record belongs to the *variable's* recovery, not the session's
   // replay: it is not added to the position stream and does not change the
-  // session's state number (Fig. 8).
+  // session's state number (Fig. 8). Telemetry still attributes it to the
+  // writing session — the record carries its id, and the offline inspector's
+  // per-session reconstruction groups by that id.
   s->bytes_logged_since_cp += framed;
+  s->stats.OnLogAppend(framed);
 
   // Refined dependency tracking (§3.3): a write REPLACES the variable's DV
   // with the writer's; nothing flows back into the writer.
@@ -775,6 +785,7 @@ Status Msp::SharedUpdateImpl(Session* s, const std::string& name,
   size_t framed = 0;
   uint64_t lsn = log_->Append(write, &framed);
   s->bytes_logged_since_cp += framed;
+  s->stats.OnLogAppend(framed);
 
   var->dv.ReplaceWith(s->dv);
   var->state_number = lsn;
@@ -938,17 +949,20 @@ Status Msp::OutgoingCallImpl(Session* s, const std::string& target,
   req.parent_span_id = parent_span.span_id;
 
   const bool intra = IntraDomain(target);
+  s->stats.OnNestedCall(target, /*cross_domain=*/!intra);
+  ++s->calls_in_request;
   if (log_based) {
     if (intra) {
       req.has_dv = true;
       req.dv = config_.per_session_dv ? s->dv : MspWideDv();
       env_->stats().dv_entries_attached.fetch_add(req.dv.entry_count());
+      s->stats.OnPiggybackedSend();
     } else {
       // Pessimistic leg: flush our dependencies before the message leaves
       // the service domain (Fig. 7, "before send, across service domains").
       DependencyVector flush_dv =
           config_.per_session_dv ? s->dv : MspWideDv();
-      MSPLOG_RETURN_IF_ERROR(DistributedFlush(flush_dv, parent_span));
+      MSPLOG_RETURN_IF_ERROR(DistributedFlush(flush_dv, parent_span, s));
       audit::CheckWalBeforeSend("call to " + target, config_.id,
                                 epoch_.load(), flush_dv,
                                 log_->durable_lsn());
@@ -988,7 +1002,8 @@ Status Msp::OutgoingCallImpl(Session* s, const std::string& target,
 // ---------------------------------------------------------------------------
 
 Status Msp::DistributedFlush(const DependencyVector& dv,
-                             const obs::SpanContext& span) {
+                             const obs::SpanContext& span,
+                             Session* stats_session) {
   if (config_.mode != RecoveryMode::kLogBased) return Status::OK();
   // The flush is its own child span under the stalled request span, so the
   // trace shows the log-flush stall as a distinct stage.
@@ -1006,6 +1021,10 @@ Status Msp::DistributedFlush(const DependencyVector& dv,
   Status st = DistributedFlushImpl(dv, fspan);
   double t1 = env_->NowModelMs();
   hist_flush_wait_ms_->Record(t1 - t0);
+  if (stats_session) {
+    stats_session->stats.OnForcedFlush();
+    stats_session->stats.OnFlushStall(t1 - t0);
+  }
   env_->tracer().Record(obs::TraceEventType::kDistFlushEnd, t1, config_.id,
                         /*session=*/"", /*seqno=*/0,
                         st.ok() ? "" : st.ToString(), fspan);
@@ -1308,7 +1327,11 @@ Status Msp::ProcessRequestBaseline(Session* s, const Message& m,
 
   ExecContext ctx(this, s, ExecContext::Mode::kNormal, m.seqno, nullptr, span);
   Bytes result;
+  s->calls_in_request = 0;
   Status st = InvokeMethod(m.method, &ctx, m.payload, &result);
+  s->stats.OnRequest();
+  s->stats.OnRequestFanout(s->calls_in_request);
+  s->calls_in_request = 0;
   if (st.IsCrashed() || st.IsTimedOut()) return st;
   ReplyCode code = st.ok() ? ReplyCode::kOk : ReplyCode::kAppError;
   Bytes payload = st.ok() ? std::move(result) : Bytes(st.ToString());
@@ -1457,6 +1480,48 @@ RecoveredStateTable Msp::SnapshotRecoveredTable() const {
   return recovered_table_;
 }
 
+std::vector<obs::SessionStatsSnapshot> Msp::SessionTelemetry() const {
+  std::vector<std::pair<std::string, std::shared_ptr<Session>>> snap;
+  {
+    audit::LockGuard lk(sessions_mu_);
+    snap.reserve(sessions_.size());
+    for (const auto& [id, s] : sessions_) snap.emplace_back(id, s);
+  }
+  // Snapping outside the table lock: SessionStats is relaxed-atomic, so no
+  // session ownership is required (std::map iteration is id-sorted already).
+  std::vector<obs::SessionStatsSnapshot> out;
+  out.reserve(snap.size());
+  for (const auto& [id, s] : snap) out.push_back(s->stats.Snap(id));
+  return out;
+}
+
+void Msp::RegisterTelemetryProbes(obs::MetricsScraper* scraper) const {
+  const std::string p = config_.id + ".";
+  scraper->AddProbe(p + "sessions", [this] {
+    return static_cast<double>(SessionCount());
+  });
+  scraper->AddProbe(p + "queued_requests", [this] {
+    audit::LockGuard lk(sessions_mu_);
+    uint64_t queued = 0;
+    for (const auto& [id, s] : sessions_) queued += s->pending_requests.size();
+    return static_cast<double>(queued);
+  });
+  // Aggregates over live sessions' relaxed-atomic telemetry; the sessions
+  // table lock only pins the session set, never session bodies.
+  auto sum = [this](uint64_t (*field)(const Session&)) {
+    audit::LockGuard lk(sessions_mu_);
+    uint64_t total = 0;
+    for (const auto& [id, s] : sessions_) total += field(*s);
+    return static_cast<double>(total);
+  };
+  scraper->AddProbe(p + "telemetry.requests", [sum] {
+    return sum([](const Session& s) { return s.stats.requests(); });
+  });
+  scraper->AddProbe(p + "telemetry.flush_stalls", [sum] {
+    return sum([](const Session& s) { return s.stats.flush_stalls(); });
+  });
+}
+
 std::string Msp::DumpStatusz() const {
   const char* state_name = "?";
   switch (state_.load()) {
@@ -1537,6 +1602,9 @@ std::string Msp::DumpStatusz() const {
            obs::SnapshotJson(m.GetHistogram("flush.flight_batch")->Snap());
     out += "},";
   }
+  // Per-session telemetry (obs/session_stats.h), id-sorted.
+  out += "\"telemetry\":" + obs::SessionTelemetryJson(SessionTelemetry()) + ",";
+
   out += "\"histograms\":{";
   out += "\"queue_wait_ms\":" + obs::SnapshotJson(hist_queue_wait_ms_->Snap());
   out += ",\"execute_ms\":" + obs::SnapshotJson(hist_execute_ms_->Snap());

@@ -142,9 +142,20 @@ class Msp {
   std::vector<obs::RecoveryTimeline::SessionProvenance> RecoveryProvenance()
       const;
 
+  /// Per-session telemetry snapshots (obs/session_stats.h), id-sorted.
+  /// Relaxed-atomic reads; safe from any thread while workers run.
+  std::vector<obs::SessionStatsSnapshot> SessionTelemetry() const;
+
+  /// Register this server's per-session aggregate probes with a scraper
+  /// ("<id>.sessions", "<id>.queued_requests", "<id>.telemetry.requests",
+  /// "<id>.telemetry.flush_stalls"). The probes capture `this`: the Msp
+  /// must outlive the scraper's sampling (stop the scraper first).
+  void RegisterTelemetryProbes(obs::MetricsScraper* scraper) const;
+
   /// One-call structured snapshot of the server ("/statusz"): identity,
-  /// lifecycle state, epoch, session/queue occupancy, log extents, and
-  /// latency-histogram quantiles. JSON; safe to call from any thread.
+  /// lifecycle state, epoch, session/queue occupancy, log extents,
+  /// per-session telemetry, and latency-histogram quantiles. JSON; safe to
+  /// call from any thread.
   std::string DumpStatusz() const;
 
   /// Model ms the most recent crash recovery's analysis scan took.
@@ -216,8 +227,11 @@ class Msp {
   // ---- distributed log flush (§3.1) ----
   /// Timing/tracing wrapper around DistributedFlushImpl. `span` is the
   /// request span stalled on this flush; the flush records a child span.
+  /// When `stats_session` is set, the stall is attributed to that session's
+  /// telemetry (forced flush + stall time).
   Status DistributedFlush(const DependencyVector& dv,
-                          const obs::SpanContext& span = {});
+                          const obs::SpanContext& span = {},
+                          Session* stats_session = nullptr);
   /// Submits the peer legs to the flush aggregator (skip/join/queue/launch
   /// decided per leg), flushes the local leg, then awaits every leg with a
   /// single deadline-driven wait on one condition variable.

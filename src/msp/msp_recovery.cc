@@ -356,6 +356,8 @@ Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
   }
   const double replay_ms = env_->NowModelMs() - replay_t0;
   hist_replay_ms_->Record(replay_ms);
+  s->stats.OnReplayedRequests(requests_replayed);
+  s->stats.SetDvEntries(s->dv.entry_count());
   env_->tracer().Record(obs::TraceEventType::kReplayEnd,
                         env_->NowModelMs(), config_.id, s->id, /*seqno=*/0,
                         "replayed=" + std::to_string(requests_replayed));

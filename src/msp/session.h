@@ -21,6 +21,7 @@
 #include "common/serde.h"
 #include "common/status.h"
 #include "log/position_stream.h"
+#include "obs/session_stats.h"
 #include "obs/trace.h"
 #include "recovery/dependency_vector.h"
 #include "rpc/message.h"
@@ -101,6 +102,15 @@ class Session {
   /// Sequence numbers for baseline state-server RPCs. Deliberately volatile
   /// and not part of the checkpointable state.
   uint64_t volatile_rpc_seqno = 1;
+
+  // ---- telemetry (obs/session_stats.h) ----
+  /// Relaxed-atomic counters; safe to Snap() from any thread. Volatile by
+  /// design: a crash recreates the Session, so recovered sessions restart
+  /// their telemetry (replays are counted on the fresh record).
+  obs::SessionStats stats;
+  /// Nested calls made by the request currently executing; owner-thread
+  /// only, folded into stats.OnRequestFanout at the request boundary.
+  uint64_t calls_in_request = 0;
 
   /// Serialize the checkpointable state (§3.2: session variables, buffered
   /// reply, next expected request seqno, outgoing sessions' next available

@@ -1,0 +1,69 @@
+// Tail-latency attribution — walk the EventTracer's span-tagged events and
+// explain where slow requests spent their time.
+//
+// Every client call is one trace (the endpoint allocates a fresh trace_id
+// per call, rpc/client_endpoint.cc), so a trace's timeline is:
+//
+//   kClientCallStart ... kEnqueue -> kDequeue -> kExecStart -> kExecEnd
+//     -> [kDistFlushStart/End]* -> kReplySent ... kClientCallEnd
+//
+// The walker classifies each slow trace's duration into buckets:
+//   queue_wait    first dequeue minus first enqueue at the root MSP
+//   exec          service-method execution (includes nested calls and the
+//                 flushes *they* forced — downstream cost belongs to exec)
+//   local_flush   reply-path distributed flushes that settled without
+//                 launching a remote leg (log-force only)
+//   remote_flush  reply-path distributed flushes that launched or joined at
+//                 least one remote flight
+//   net_resend    client-visible time outside the server window (network
+//                 transit, busy-reply backoff, resend waits)
+//   other         bookkeeping gaps (dequeue-to-exec, flush-to-reply, ...)
+//
+// Traces whose start/end or enqueue events were overwritten by the bounded
+// tracer ring are counted as incomplete and skipped, never guessed at.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace msplog {
+namespace obs {
+
+struct TailBlameReport {
+  double threshold_ms = 0;       ///< traces at or above this are "slow"
+  uint64_t traces_total = 0;     ///< complete client-rooted traces seen
+  uint64_t traces_slow = 0;      ///< of those, at/above the threshold
+  uint64_t traces_incomplete = 0;  ///< skipped (ring overwrote their events)
+
+  // Sums over the slow traces, model milliseconds.
+  double total_ms = 0;
+  double queue_wait_ms = 0;
+  double exec_ms = 0;
+  double local_flush_ms = 0;
+  double remote_flush_ms = 0;
+  double net_resend_ms = 0;
+  double other_ms = 0;
+
+  /// Bucket shares as fractions of total_ms (0 when no slow traces).
+  double Share(double bucket_ms) const {
+    return total_ms > 0 ? bucket_ms / total_ms : 0;
+  }
+
+  /// {"threshold_ms":..,"traces_total":..,...,"buckets":{...}}
+  std::string ToJson() const;
+};
+
+/// Attribute every complete trace with duration >= `threshold_ms`.
+TailBlameReport AttributeTailLatency(const std::vector<TraceEvent>& events,
+                                     double threshold_ms);
+
+/// Threshold = the `q` quantile (e.g. 0.99) of complete trace durations;
+/// with fewer than 2 complete traces the report is empty but well-formed.
+TailBlameReport AttributeTailQuantile(const std::vector<TraceEvent>& events,
+                                      double q);
+
+}  // namespace obs
+}  // namespace msplog

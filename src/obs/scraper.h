@@ -1,0 +1,178 @@
+// MetricsScraper — a background sampler that turns the snapshot counter bag
+// (MetricsRegistry) into fixed-size time series.
+//
+// Design constraints:
+//   * the sample path allocates nothing: every probe is registered up front
+//     (capturing its stable metric handle), every ring is preallocated, and
+//     one sample is "call probe, push {t, value}" per series;
+//   * the scraper never touches simulation or server layers — timestamps
+//     come from an injected clock callback (the environment passes
+//     NowModelMs), which keeps src/obs dependency-free per the layering
+//     lint;
+//   * rings are bounded: once a series has `ring_capacity` points the oldest
+//     is overwritten, and the total-push counter keeps wrap-around visible.
+//
+// Dump formats:
+//   * DumpPrometheus() — text exposition, latest value per series
+//     (`msplog_msp_requests 40`), names sanitized to [a-zA-Z0-9_:];
+//   * DumpJson() — the full rings, for benches and offline plotting.
+//
+// The scraper outlives MSP crash/restart cycles (it belongs to the
+// environment, not the server), so a series spanning a crash keeps every
+// sample taken before, during, and after recovery.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "audit/mutex.h"
+
+namespace msplog {
+namespace obs {
+
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+
+/// Fixed-capacity ring of (timestamp, value) samples. Not internally
+/// synchronized — the scraper's mutex guards it.
+class TimeSeriesRing {
+ public:
+  struct Sample {
+    double t_ms = 0;
+    double value = 0;
+  };
+
+  explicit TimeSeriesRing(size_t capacity);
+
+  /// O(1), no allocation; overwrites the oldest sample once full.
+  void Push(double t_ms, double value);
+
+  /// Retained samples, oldest first (allocates; dump path only).
+  std::vector<Sample> Samples() const;
+
+  /// Samples ever pushed (>= Samples().size(); larger means wrapped).
+  uint64_t total_pushed() const { return total_; }
+  size_t size() const { return total_ < ring_.size() ? total_ : ring_.size(); }
+  size_t capacity() const { return ring_.size(); }
+  /// Latest sample; {0,0} when empty.
+  Sample Latest() const;
+
+ private:
+  std::vector<Sample> ring_;
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+};
+
+class MetricsScraper {
+ public:
+  struct Options {
+    /// Real wall milliseconds between background samples. The default is
+    /// deliberately coarse: on small (even single-core) hosts every scraper
+    /// wakeup preempts a worker, and at 10x this rate that perturbation is
+    /// measurable in response times. Tests that need dense samples pass a
+    /// smaller period or drive SampleNow() directly.
+    double period_ms = 100.0;
+    /// Points retained per series.
+    size_t ring_capacity = 256;
+    /// Prometheus metric-name prefix.
+    std::string prefix = "msplog";
+  };
+
+  /// `now_ms` supplies sample timestamps (model ms); it must be callable
+  /// until the scraper is destroyed. (Two overloads rather than a default
+  /// argument: a nested-class NSDMI default is ill-formed in the enclosing
+  /// class body.)
+  MetricsScraper(MetricsRegistry* registry, std::function<double()> now_ms);
+  MetricsScraper(MetricsRegistry* registry, std::function<double()> now_ms,
+                 Options options);
+  ~MetricsScraper();
+
+  MetricsScraper(const MetricsScraper&) = delete;
+  MetricsScraper& operator=(const MetricsScraper&) = delete;
+
+  // --- series registration (allocates; do before sampling starts) ---------
+
+  /// Watch a registry counter / gauge under its metric name.
+  void WatchCounter(const std::string& name);
+  void WatchGauge(const std::string& name);
+  /// Watch a registry histogram as three series: <name>.count, <name>.mean,
+  /// <name>.p99.
+  void WatchHistogram(const std::string& name);
+  /// Watch everything currently interned in the registry. Metrics interned
+  /// later are not picked up automatically; call again to adopt them.
+  void WatchAllRegistered();
+  /// Arbitrary probe (e.g. a per-session aggregate closure). `read` runs on
+  /// the scraper thread and must not allocate or block on I/O.
+  void AddProbe(const std::string& name, std::function<double()> read);
+
+  // --- lifecycle ----------------------------------------------------------
+
+  /// Idempotent: starting a running scraper is a no-op.
+  void Start();
+  /// Idempotent: stops and joins the sampler thread; rings are retained.
+  void Stop();
+  bool running() const;
+
+  /// Take one sample synchronously on the calling thread (tests/benches;
+  /// works whether or not the background thread runs).
+  void SampleNow();
+
+  // --- introspection ------------------------------------------------------
+
+  uint64_t samples_taken() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+  std::vector<std::string> SeriesNames() const;
+  /// False if no such series.
+  bool Series(const std::string& name,
+              std::vector<TimeSeriesRing::Sample>* out) const;
+  /// Total pushes for one series (wrap-around detection); 0 if unknown.
+  uint64_t SeriesTotalPushed(const std::string& name) const;
+
+  std::string DumpPrometheus() const;
+  std::string DumpJson() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Probe {
+    std::string name;
+    const char* prom_type;  ///< "counter" or "gauge"
+    std::function<double()> read;
+    TimeSeriesRing ring;
+    Probe(std::string n, const char* t, std::function<double()> r,
+          size_t capacity)
+        : name(std::move(n)), prom_type(t), read(std::move(r)),
+          ring(capacity) {}
+  };
+
+  void AddProbeLocked(const std::string& name, const char* prom_type,
+                      std::function<double()> read);
+  void SampleLocked(double now);
+  void Loop();
+
+  MetricsRegistry* registry_;
+  std::function<double()> now_ms_;
+  Options options_;
+
+  /// Serializes Start/Stop against each other (never held on the sample
+  /// path); ordered before mu_.
+  audit::Mutex lifecycle_mu_{"obs.scraper.lifecycle"};
+  mutable audit::Mutex mu_{"obs.scraper"};
+  audit::CondVar cv_;
+  std::vector<std::unique_ptr<Probe>> probes_;
+  bool running_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+  std::atomic<uint64_t> samples_{0};
+};
+
+}  // namespace obs
+}  // namespace msplog

@@ -36,7 +36,8 @@ void SleepUntilNs(uint64_t deadline_ns) {
 }  // namespace
 
 SimEnvironment::SimEnvironment(double time_scale)
-    : time_scale_(time_scale), start_ns_(NowNs()) {
+    : time_scale_(time_scale), start_ns_(NowNs()),
+      scraper_(&metrics_, [this] { return NowModelMs(); }) {
   // Ring overwrites become a visible counter: benches check it and warn in
   // their BENCH_JSON when a trace was silently truncated.
   tracer_.set_drop_counter(metrics_.GetCounter("obs.trace_dropped"));

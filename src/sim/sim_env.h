@@ -22,6 +22,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/scraper.h"
 #include "obs/trace.h"
 
 namespace msplog {
@@ -139,12 +140,19 @@ class SimEnvironment {
   obs::EventTracer& tracer() { return tracer_; }
   const obs::EventTracer& tracer() const { return tracer_; }
 
+  /// Background time-series sampler over this environment's registry.
+  /// Owned here rather than by any server so its rings survive MSP
+  /// crash/restart cycles; idle (not started) by default.
+  obs::MetricsScraper& scraper() { return scraper_; }
+  const obs::MetricsScraper& scraper() const { return scraper_; }
+
  private:
   double time_scale_;
   uint64_t start_ns_;
   SimStats stats_;
   obs::MetricsRegistry metrics_;
   obs::EventTracer tracer_;
+  obs::MetricsScraper scraper_;  ///< last member: stops before peers die
 };
 
 }  // namespace msplog

@@ -149,6 +149,47 @@ TEST_F(InspectTest, CorruptedCopyIsDetectedNotAccepted) {
   EXPECT_NE(report.Summary().find("torn tail"), std::string::npos);
 }
 
+TEST_F(InspectTest, StatsReconstructsPerSessionCountsFromTheImage) {
+  Build();
+  RunWorkloadWithCrash();
+
+  LogInspectOptions opts;
+  opts.collect_session_stats = true;
+  LogInspectReport report;
+  ASSERT_TRUE(InspectLogImage(&disk_, "m1.log", opts, &report).ok());
+
+  ASSERT_EQ(report.session_stats.size(), 1u);
+  const obs::SessionStatsSnapshot& ss = report.session_stats[0];
+  ASSERT_EQ(report.records_by_session.count(ss.session_id), 1u);
+  // The reconstruction agrees with the walk's own accounting.
+  EXPECT_EQ(ss.log_records, report.records_by_session.at(ss.session_id));
+  EXPECT_EQ(ss.requests, report.records_by_type["RequestReceive"]);
+  EXPECT_EQ(ss.checkpoints, report.session_checkpoints);
+  EXPECT_GE(ss.requests, 1u);
+  EXPECT_LE(ss.requests, 15u);  // GC may have reclaimed the head
+  EXPECT_GE(ss.checkpoints, 1u);
+  // Byte accounting uses the framed on-log footprint, so the per-session
+  // total can never exceed the image.
+  EXPECT_GT(ss.log_bytes, 0u);
+  EXPECT_LE(ss.log_bytes, report.image_bytes);
+  EXPECT_EQ(ss.nested_calls, 0u);  // this workload makes no nested calls
+  EXPECT_TRUE(ss.calls_by_peer.empty());
+
+  // Rendered in both outputs, in the same shape live telemetry uses.
+  EXPECT_NE(report.Summary().find("per-session stats:"), std::string::npos);
+  EXPECT_NE(report.Summary().find(ss.session_id + ": requests="),
+            std::string::npos);
+  EXPECT_NE(report.ToJson().find("\"session_stats\":[{\"session\":"),
+            std::string::npos);
+
+  // Without the flag the report stays lean.
+  LogInspectReport plain;
+  ASSERT_TRUE(
+      InspectLogImage(&disk_, "m1.log", LogInspectOptions(), &plain).ok());
+  EXPECT_TRUE(plain.session_stats.empty());
+  EXPECT_EQ(plain.ToJson().find("session_stats"), std::string::npos);
+}
+
 TEST_F(InspectTest, MissingImageIsAnError) {
   LogInspectReport report;
   EXPECT_TRUE(InspectLogImage(&disk_, "no-such.log", LogInspectOptions(),

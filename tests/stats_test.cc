@@ -4,13 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <thread>
 #include <vector>
 
 #include "msp/msp.h"
 #include "msp/service_domain.h"
+#include "obs/blame.h"
 #include "obs/metrics.h"
+#include "obs/scraper.h"
+#include "obs/session_stats.h"
 #include "obs/trace.h"
 #include "rpc/client_endpoint.h"
 #include "sim/sim_disk.h"
@@ -597,6 +601,410 @@ TEST_F(StatsTest, DumpStatuszCarriesLiveStateAndSurvivesCrashCycle) {
   ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
   EXPECT_NE(alpha_->DumpStatusz().find("\"state\":\"running\""),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Per-session telemetry: the MSP hot paths feed SessionStats exactly.
+
+TEST_F(StatsTest, SessionTelemetryCountsHotPathEventsIntraDomain) {
+  Build(/*same_domain=*/true);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  constexpr uint64_t kN = 6;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  }
+  auto tel = alpha_->SessionTelemetry();
+  ASSERT_EQ(tel.size(), 1u);
+  const obs::SessionStatsSnapshot& s = tel[0];
+  EXPECT_EQ(s.session_id, session.session_id);
+  EXPECT_EQ(s.requests, kN);
+  // Each request makes exactly one nested call to beta, intra-domain.
+  EXPECT_EQ(s.nested_calls, kN);
+  EXPECT_EQ(s.max_request_fanout, 1u);
+  EXPECT_EQ(s.cross_domain_calls, 0u);
+  ASSERT_EQ(s.calls_by_peer.size(), 1u);
+  EXPECT_EQ(s.calls_by_peer.at("beta"), kN);
+  // The intra-domain call piggybacks the DV; the reply to the end client
+  // (outside any domain) forces one distributed flush per request.
+  EXPECT_EQ(s.piggybacked_sends, kN);
+  EXPECT_EQ(s.forced_flushes, kN);
+  EXPECT_EQ(s.flush_stalls, kN);
+  EXPECT_GT(s.flush_stall_ms, 0.0);
+  // RequestReceive + SharedRead + SharedWrite + ReplyReceive per request.
+  EXPECT_EQ(s.log_records, 4 * kN);
+  EXPECT_GT(s.log_bytes, 0u);
+  EXPECT_EQ(s.checkpoints, 0u);
+  EXPECT_EQ(s.replays, 0u);
+
+  // Beta's side of the same traffic: its per-caller session served the
+  // nested calls and made none of its own.
+  auto beta_tel = beta_->SessionTelemetry();
+  ASSERT_EQ(beta_tel.size(), 1u);
+  EXPECT_EQ(beta_tel[0].requests, kN);
+  EXPECT_EQ(beta_tel[0].nested_calls, 0u);
+  EXPECT_TRUE(beta_tel[0].calls_by_peer.empty());
+}
+
+TEST_F(StatsTest, SessionTelemetryCountsCrossDomainFlushes) {
+  Build(/*same_domain=*/false);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  constexpr uint64_t kN = 4;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  }
+  auto tel = alpha_->SessionTelemetry();
+  ASSERT_EQ(tel.size(), 1u);
+  const obs::SessionStatsSnapshot& s = tel[0];
+  EXPECT_EQ(s.cross_domain_calls, kN);
+  // Alpha forces a flush before the cross-domain request2 and before the
+  // reply to the end client — two of the three per-request flushes are
+  // attributed to this session (the third belongs to beta's side).
+  EXPECT_EQ(s.forced_flushes, 2 * kN);
+  EXPECT_EQ(s.piggybacked_sends, 0u);
+}
+
+TEST_F(StatsTest, SessionTelemetryCountsReplaysOnFreshRecord) {
+  Build(/*same_domain=*/true);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  constexpr uint64_t kN = 5;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  }
+  alpha_->Crash();
+  ASSERT_TRUE(alpha_->Start().ok());
+  ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  auto tel = alpha_->SessionTelemetry();
+  ASSERT_EQ(tel.size(), 1u);
+  // The crash destroyed the in-memory stats with the session object; the
+  // fresh record separates recovery work (replays) from live traffic.
+  EXPECT_EQ(tel[0].replays, kN);
+  EXPECT_EQ(tel[0].requests, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Strict mini JSON parser: every machine-readable dump must parse with NO
+// leniency (no trailing garbage, no NaN/inf leaking out of %g, balanced
+// structure). Substring checks alone would never catch a malformed dump.
+
+size_t JsonValue(const std::string& s, size_t i);
+
+size_t JsonWs(const std::string& s, size_t i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+  return i;
+}
+
+size_t JsonString(const std::string& s, size_t i) {
+  if (i >= s.size() || s[i] != '"') return std::string::npos;
+  ++i;
+  while (i < s.size()) {
+    if (s[i] == '\\') {
+      if (i + 1 >= s.size()) return std::string::npos;
+      i += 2;
+    } else if (s[i] == '"') {
+      return i + 1;
+    } else {
+      ++i;
+    }
+  }
+  return std::string::npos;
+}
+
+size_t JsonNumber(const std::string& s, size_t i) {
+  size_t start = i;
+  if (i < s.size() && s[i] == '-') ++i;
+  size_t digits = i;
+  while (i < s.size() && isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  if (i == digits) return std::string::npos;  // rejects nan/inf too
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    size_t frac = i;
+    while (i < s.size() && isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    if (i == frac) return std::string::npos;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    size_t exp = i;
+    while (i < s.size() && isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    if (i == exp) return std::string::npos;
+  }
+  return i > start ? i : std::string::npos;
+}
+
+size_t JsonObject(const std::string& s, size_t i) {
+  ++i;  // '{'
+  i = JsonWs(s, i);
+  if (i < s.size() && s[i] == '}') return i + 1;
+  while (true) {
+    i = JsonString(s, JsonWs(s, i));
+    if (i == std::string::npos) return std::string::npos;
+    i = JsonWs(s, i);
+    if (i >= s.size() || s[i] != ':') return std::string::npos;
+    i = JsonValue(s, i + 1);
+    if (i == std::string::npos) return std::string::npos;
+    i = JsonWs(s, i);
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+    } else if (i < s.size() && s[i] == '}') {
+      return i + 1;
+    } else {
+      return std::string::npos;
+    }
+  }
+}
+
+size_t JsonArray(const std::string& s, size_t i) {
+  ++i;  // '['
+  i = JsonWs(s, i);
+  if (i < s.size() && s[i] == ']') return i + 1;
+  while (true) {
+    i = JsonValue(s, i);
+    if (i == std::string::npos) return std::string::npos;
+    i = JsonWs(s, i);
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+    } else if (i < s.size() && s[i] == ']') {
+      return i + 1;
+    } else {
+      return std::string::npos;
+    }
+  }
+}
+
+size_t JsonValue(const std::string& s, size_t i) {
+  i = JsonWs(s, i);
+  if (i >= s.size()) return std::string::npos;
+  switch (s[i]) {
+    case '{': return JsonObject(s, i);
+    case '[': return JsonArray(s, i);
+    case '"': return JsonString(s, i);
+    case 't': return s.compare(i, 4, "true") == 0 ? i + 4 : std::string::npos;
+    case 'f': return s.compare(i, 5, "false") == 0 ? i + 5 : std::string::npos;
+    case 'n': return s.compare(i, 4, "null") == 0 ? i + 4 : std::string::npos;
+    default:  return JsonNumber(s, i);
+  }
+}
+
+::testing::AssertionResult JsonStrict(const std::string& s) {
+  size_t end = JsonValue(s, 0);
+  if (end == std::string::npos) {
+    return ::testing::AssertionFailure() << "JSON parse error in: " << s;
+  }
+  end = JsonWs(s, end);
+  if (end != s.size()) {
+    return ::testing::AssertionFailure()
+           << "trailing garbage at offset " << end << ": " << s.substr(end);
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(JsonStrictTest, RejectsMalformedDocuments) {
+  EXPECT_TRUE(JsonStrict("{\"a\":[1,2.5e-3,\"x\\\"y\"],\"b\":{}}"));
+  EXPECT_FALSE(JsonStrict("{\"a\":1,}"));
+  EXPECT_FALSE(JsonStrict("{\"a\":nan}"));
+  EXPECT_FALSE(JsonStrict("{\"a\":inf}"));
+  EXPECT_FALSE(JsonStrict("{\"a\":1} trailing"));
+  EXPECT_FALSE(JsonStrict("{\"a\":}"));
+  EXPECT_FALSE(JsonStrict("[1,2"));
+}
+
+TEST_F(StatsTest, DumpStatuszAndTelemetryDumpsParseStrictly) {
+  Build(/*same_domain=*/true);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  }
+
+  std::string statusz = alpha_->DumpStatusz();
+  EXPECT_TRUE(JsonStrict(statusz));
+  EXPECT_NE(statusz.find("\"telemetry\":["), std::string::npos);
+  EXPECT_NE(statusz.find("\"session\":\"" + session.session_id + "\""),
+            std::string::npos);
+  EXPECT_NE(statusz.find("\"calls_by_peer\":{\"beta\":"), std::string::npos);
+
+  EXPECT_TRUE(
+      JsonStrict(obs::SessionTelemetryJson(alpha_->SessionTelemetry())));
+  EXPECT_TRUE(JsonStrict(
+      obs::AttributeTailQuantile(env_.tracer().Events(), 0.99).ToJson()));
+
+  // Scraper JSON exposition, with MSP probes attached and samples taken.
+  env_.scraper().WatchAllRegistered();
+  alpha_->RegisterTelemetryProbes(&env_.scraper());
+  env_.scraper().SampleNow();
+  env_.scraper().SampleNow();
+  EXPECT_TRUE(JsonStrict(env_.scraper().DumpJson()));
+  // The crashed server's dump parses too.
+  alpha_->Crash();
+  EXPECT_TRUE(JsonStrict(alpha_->DumpStatusz()));
+  ASSERT_TRUE(alpha_->Start().ok());
+}
+
+// ---------------------------------------------------------------------------
+// MetricsScraper: ring semantics, lifecycle, crash survival.
+
+TEST(ScraperTest, RingWrapsOverwritingOldestAndCountsTotalPushes) {
+  obs::TimeSeriesRing ring(4);
+  EXPECT_EQ(ring.Latest().t_ms, 0.0);
+  for (int i = 0; i < 10; ++i) {
+    ring.Push(i, i * 2.0);
+  }
+  EXPECT_EQ(ring.total_pushed(), 10u);
+  EXPECT_EQ(ring.size(), 4u);
+  auto pts = ring.Samples();
+  ASSERT_EQ(pts.size(), 4u);
+  for (int i = 0; i < 4; ++i) {  // oldest first: 6, 7, 8, 9
+    EXPECT_DOUBLE_EQ(pts[i].t_ms, 6.0 + i);
+    EXPECT_DOUBLE_EQ(pts[i].value, (6.0 + i) * 2);
+  }
+  EXPECT_DOUBLE_EQ(ring.Latest().t_ms, 9.0);
+}
+
+TEST(ScraperTest, ProbesSampleIntoRingsAndWrapAroundIsVisible) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("test.counter");
+  double now = 0;
+  obs::MetricsScraper::Options o;
+  o.ring_capacity = 8;
+  obs::MetricsScraper s(&reg, [&now] { return now; }, o);
+  s.WatchCounter("test.counter");
+  double probe_value = 0;
+  s.AddProbe("custom.probe", [&probe_value] { return probe_value; });
+  // Re-registering the same names must not create duplicate series.
+  s.WatchCounter("test.counter");
+  s.AddProbe("custom.probe", [] { return -1.0; });
+  EXPECT_EQ(s.SeriesNames().size(), 2u);
+
+  for (int i = 0; i < 20; ++i) {
+    now = i;
+    probe_value = 100.0 + i;
+    c->Add(3);
+    s.SampleNow();
+  }
+  EXPECT_EQ(s.samples_taken(), 20u);
+  std::vector<obs::TimeSeriesRing::Sample> pts;
+  ASSERT_TRUE(s.Series("test.counter", &pts));
+  ASSERT_EQ(pts.size(), 8u);  // capacity, not 20
+  EXPECT_EQ(s.SeriesTotalPushed("test.counter"), 20u);  // wrap is visible
+  EXPECT_DOUBLE_EQ(pts.back().value, 60.0);
+  EXPECT_DOUBLE_EQ(pts.back().t_ms, 19.0);
+  ASSERT_TRUE(s.Series("custom.probe", &pts));
+  EXPECT_DOUBLE_EQ(pts.back().value, 119.0);  // first registration won
+  EXPECT_FALSE(s.Series("no.such", &pts));
+  EXPECT_EQ(s.SeriesTotalPushed("no.such"), 0u);
+
+  std::string prom = s.DumpPrometheus();
+  EXPECT_NE(prom.find("# TYPE msplog_test_counter counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("msplog_test_counter 60"), std::string::npos);
+  EXPECT_NE(prom.find("msplog_custom_probe 119"), std::string::npos);
+}
+
+TEST(ScraperTest, StartStopAreIdempotentAndRestartable) {
+  obs::MetricsRegistry reg;
+  obs::MetricsScraper::Options o;
+  o.period_ms = 2.0;  // dense: this test wants background samples quickly
+  obs::MetricsScraper s(&reg, [] { return 0.0; }, o);
+  s.AddProbe("p", [] { return 1.0; });
+  EXPECT_FALSE(s.running());
+  s.Start();
+  s.Start();  // no-op, no second thread
+  EXPECT_TRUE(s.running());
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (s.samples_taken() < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(s.samples_taken(), 3u);
+  s.Stop();
+  s.Stop();  // no-op
+  EXPECT_FALSE(s.running());
+  uint64_t after_stop = s.samples_taken();
+  // Rings are retained across Stop, and Start resumes cleanly.
+  EXPECT_GE(s.SeriesTotalPushed("p"), after_stop);
+  s.Start();
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (s.samples_taken() <= after_stop &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(s.samples_taken(), after_stop);
+  s.Stop();
+}
+
+TEST_F(StatsTest, ScraperRingsSurviveMspCrashRecoveryBoundary) {
+  Build(/*same_domain=*/true);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+
+  obs::MetricsScraper& scraper = env_.scraper();
+  scraper.WatchCounter("msp.requests");
+  alpha_->RegisterTelemetryProbes(&scraper);
+  scraper.SampleNow();
+  scraper.SampleNow();
+  uint64_t before = scraper.SeriesTotalPushed("msp.requests");
+  ASSERT_EQ(before, 2u);
+  std::vector<obs::TimeSeriesRing::Sample> pre;
+  ASSERT_TRUE(scraper.Series("msp.requests", &pre));
+
+  // Crash and recover the MSP the probes point at; the scraper (owned by
+  // the environment) keeps sampling across the boundary without losing the
+  // pre-crash points.
+  alpha_->Crash();
+  scraper.SampleNow();  // while crashed
+  ASSERT_TRUE(alpha_->Start().ok());
+  ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  scraper.SampleNow();
+
+  std::vector<obs::TimeSeriesRing::Sample> post;
+  ASSERT_TRUE(scraper.Series("msp.requests", &post));
+  ASSERT_EQ(post.size(), pre.size() + 2);
+  EXPECT_EQ(scraper.SeriesTotalPushed("msp.requests"), before + 2);
+  for (size_t i = 0; i < pre.size(); ++i) {  // old points still there
+    EXPECT_DOUBLE_EQ(post[i].t_ms, pre[i].t_ms);
+    EXPECT_DOUBLE_EQ(post[i].value, pre[i].value);
+  }
+  // The MSP occupancy probes sampled through the crash too.
+  EXPECT_EQ(scraper.SeriesTotalPushed("alpha.sessions"), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Tail-latency blame: attribution buckets partition the slow calls' time.
+
+TEST_F(StatsTest, TailBlameAttributesCompletedClientCalls) {
+  Build(/*same_domain=*/true);
+  ClientEndpoint client(&env_, &net_, "cli");
+  auto session = client.StartSession("alpha");
+  Bytes reply;
+  constexpr int kN = 8;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(client.Call(&session, "workload", "a", &reply).ok());
+  }
+  auto events = env_.tracer().Events();
+  // Threshold 0: every complete client call is attributed.
+  obs::TailBlameReport all = obs::AttributeTailLatency(events, 0.0);
+  EXPECT_GE(all.traces_slow, static_cast<uint64_t>(kN) - 1);
+  EXPECT_GT(all.total_ms, 0.0);
+  double bucket_sum = all.queue_wait_ms + all.exec_ms + all.local_flush_ms +
+                      all.remote_flush_ms + all.net_resend_ms + all.other_ms;
+  EXPECT_NEAR(bucket_sum, all.total_ms, all.total_ms * 1e-6);
+  // The p99 cut selects a (near-)worst call, so it can only shrink the set.
+  obs::TailBlameReport p99 = obs::AttributeTailQuantile(events, 0.99);
+  EXPECT_LE(p99.traces_slow, all.traces_slow);
+  EXPECT_GE(p99.traces_slow, 1u);
+  EXPECT_GE(p99.threshold_ms, 0.0);
 }
 
 }  // namespace

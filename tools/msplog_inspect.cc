@@ -7,10 +7,13 @@
 // exactly what recovery would accept.
 //
 // Usage:
-//   msplog_inspect [--records] [--checkpoints] [--json] [--self-check] FILE
+//   msplog_inspect [--records] [--checkpoints] [--stats] [--json]
+//                  [--self-check] FILE
 //
 //   --records      dump one line per record (type, session, seqno, CRC)
 //   --checkpoints  also dump decoded checkpoint contents
+//   --stats        per-session record/byte/checkpoint counts, in the same
+//                  SessionStats shape the live server's telemetry reports
 //   --json         print the report as JSON instead of text
 //   --self-check   exit 1 unless the image has records and no invariant
 //                  violations (CI gate)
@@ -27,7 +30,7 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--records] [--checkpoints] [--json] "
+               "usage: %s [--records] [--checkpoints] [--stats] [--json] "
                "[--self-check] <log-image-file>\n",
                argv0);
   return 2;
@@ -45,6 +48,8 @@ int main(int argc, char** argv) {
       opts.dump_records = true;
     } else if (std::strcmp(argv[i], "--checkpoints") == 0) {
       opts.dump_checkpoints = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      opts.collect_session_stats = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--self-check") == 0) {
