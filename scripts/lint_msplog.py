@@ -35,6 +35,21 @@ Checks enforced over src/ (stdlib only, no third-party deps):
                        direct `msg.type = MessageType::kFlushRequest`
                        anywhere else bypasses group commit and duplicates
                        in-flight requests. Comparisons (switch/==) are fine.
+  guarded-by           in headers under src/, a mutable data member declared
+                       after an audit::Mutex/SharedMutex member of the same
+                       class must carry GUARDED_BY/PT_GUARDED_BY. Exempt:
+                       atomics, const/static/constexpr members, std::thread,
+                       audit:: types (mutexes, condvars), and obs metric
+                       handles (internally atomic). Reviewed exceptions
+                       carry `audit:allow(guarded-by)`. This keeps the clang
+                       thread-safety annotations (src/audit/annotations.h)
+                       honest on the GCC-only container where clang cannot
+                       check them.
+  requires-assertheld  a method annotated REQUIRES(...)/REQUIRES_SHARED(...)
+                       must either be named *Locked (callers see the
+                       contract in the name) or call AssertHeld /
+                       AssertSharedHeld in its body (the runtime twin of the
+                       compile-time contract).
 
 Exit status: 0 clean, 1 findings (one `file:line: [check] message` per line).
 """
@@ -209,6 +224,107 @@ def lint_file(path, findings):
         findings.append(f"{rel}:1: [pragma-once] header missing #pragma once")
 
 
+MUTEX_MEMBER = re.compile(r"\baudit::(?:Mutex|SharedMutex)\s+\w+")
+GUARDED_ANNOT = re.compile(r"\b(?:GUARDED_BY|PT_GUARDED_BY)\s*\(")
+CLASS_OPEN = re.compile(r"\b(?:class|struct)\s+[A-Z]\w*[^;]*\{")
+# Members that need no GUARDED_BY: synchronization objects themselves,
+# atomics, threads (joined under an external protocol), const/static state,
+# and obs metric handles (stable pointers to internally-atomic objects).
+EXEMPT_MEMBER = re.compile(
+    r"\b(?:std::atomic\b|std::thread\b|audit::|static\b|constexpr\b|"
+    r"using\b|typedef\b|friend\b|enum\b|const\b|obs::\w+\s*\*)")
+
+
+def lint_guarded_by(path, findings):
+    """guarded-by: post-mutex mutable members in headers must be annotated.
+
+    Line-oriented heuristic tuned to the tree's one-declaration-per-line
+    style: tracks class scopes, joins multi-line member declarations at the
+    class's member depth, and evaluates each completed statement."""
+    rel = path.relative_to(REPO).as_posix()
+    raw = path.read_text(errors="replace").splitlines()
+    stripped = []
+    in_block = False
+    for line in raw:
+        s, in_block = strip_comments_strings(line, in_block)
+        stripped.append(s)
+
+    depth = 0
+    # Stack of class scopes: [member_depth, mutex_seen].
+    classes = []
+    stmt, stmt_start = "", None
+    for lineno, line in enumerate(stripped, 1):
+        at_member_depth = bool(classes) and depth == classes[-1][0]
+        if at_member_depth and not re.match(
+                r"\s*(?:public|private|protected)\s*:|\s*#|\s*$", line):
+            if stmt_start is None:
+                stmt_start = lineno
+            stmt += " " + line.strip()
+            if ";" in line:
+                seen_mutex = classes[-1][1]
+                if MUTEX_MEMBER.search(stmt):
+                    classes[-1][1] = True
+                elif (seen_mutex and "(" not in stmt
+                      and not EXEMPT_MEMBER.search(stmt)
+                      and re.search(r"\w+\s*(?:=[^;]*|\{[^;]*\})?\s*;", stmt)):
+                    nearby = "\n".join(raw[max(0, stmt_start - 3):lineno])
+                    if "audit:allow(guarded-by)" not in nearby:
+                        findings.append(
+                            f"{rel}:{stmt_start}: [guarded-by] mutable "
+                            "member declared after this class's mutex "
+                            "without GUARDED_BY/PT_GUARDED_BY (or "
+                            "audit:allow(guarded-by) with a reason)")
+                stmt, stmt_start = "", None
+            elif "{" in line:
+                # A multi-line inline function header, not a data member.
+                stmt, stmt_start = "", None
+        if CLASS_OPEN.search(line) and "enum" not in line:
+            classes.append([depth + 1, False])
+            stmt, stmt_start = "", None
+        depth += line.count("{") - line.count("}")
+        while classes and depth < classes[-1][0]:
+            classes.pop()
+            stmt, stmt_start = "", None
+
+
+REQUIRES_ANNOT = re.compile(r"\bREQUIRES(?:_SHARED)?\s*\(")
+NAME_BEFORE_PARENS = re.compile(r"(\w+)\s*\(")
+
+
+def lint_requires_assertheld(header_texts, all_texts, findings):
+    """requires-assertheld: REQUIRES methods call AssertHeld or end Locked."""
+    for rel, text in header_texts.items():
+        flat = " ".join(text.split())
+        for m in REQUIRES_ANNOT.finditer(flat):
+            names = NAME_BEFORE_PARENS.findall(flat[max(0, m.start() - 240):
+                                                    m.start()])
+            if not names:
+                continue
+            name = names[-1]
+            if name.endswith("Locked") or name.startswith("Assert"):
+                continue
+            # Find the definition (out-of-line or inline) and look for the
+            # runtime twin near the top of the body.
+            ok = False
+            for body_text in all_texts.values():
+                for dm in re.finditer(
+                        r"\b" + re.escape(name) + r"\s*\([^;{]*\)[^;{]*\{",
+                        body_text):
+                    body = body_text[dm.end():dm.end() + 600]
+                    if "AssertHeld" in body or "AssertSharedHeld" in body:
+                        ok = True
+                        break
+                if ok:
+                    break
+            if not ok:
+                lineno = text[:text.find(name)].count("\n") + 1 \
+                    if name in text else 1
+                findings.append(
+                    f"{rel}:{lineno}: [requires-assertheld] {name}() is "
+                    "annotated REQUIRES but neither ends in 'Locked' nor "
+                    "calls AssertHeld/AssertSharedHeld in its body")
+
+
 def main():
     findings = []
     files = sorted(
@@ -218,6 +334,16 @@ def main():
         return 1
     for path in files:
         lint_file(path, findings)
+    header_texts = {}
+    all_texts = {}
+    for path in files:
+        rel = path.relative_to(REPO).as_posix()
+        text = path.read_text(errors="replace")
+        all_texts[rel] = text
+        if path.suffix == ".h" and not rel.startswith("src/audit/"):
+            header_texts[rel] = text
+            lint_guarded_by(path, findings)
+    lint_requires_assertheld(header_texts, all_texts, findings)
     for f in findings:
         print(f)
     if findings:

@@ -1,0 +1,93 @@
+// Clang Thread Safety Analysis annotations — the compile-time twin of the
+// runtime lock-order auditor (lock_order.h).
+//
+// The macros below expand to clang's thread-safety attributes when the
+// compiler supports them and to nothing everywhere else (GCC builds the
+// tree with the macros erased, so the annotations are zero-cost and cannot
+// change behaviour). The analysis is enforced by the `thread-safety` CI job
+// and locally via scripts/run_thread_safety.sh, which configures a clang
+// build with -DMSPLOG_THREAD_SAFETY=ON (-Werror=thread-safety
+// -Wthread-safety-beta) and skips gracefully when clang is absent.
+//
+// Vocabulary (see docs/STATIC_ANALYSIS.md for the policy):
+//   CAPABILITY("mutex")      — marks a class as a lockable capability;
+//                              audit::Mutex / audit::SharedMutex carry it.
+//   GUARDED_BY(mu)           — this member may only be touched while `mu`
+//                              is held (shared for reads, exclusive for
+//                              writes).
+//   PT_GUARDED_BY(mu)        — the pointee of this pointer member is
+//                              guarded by `mu` (the pointer itself is not).
+//   REQUIRES(mu)             — callers must hold `mu` exclusively before
+//                              calling; the function does not release it.
+//   REQUIRES_SHARED(mu)      — callers must hold `mu` at least shared.
+//   ACQUIRE / RELEASE        — the function acquires / releases the named
+//                              capability (lock wrappers and RAII guards).
+//   EXCLUDES(mu)             — the caller must NOT hold `mu` (deadlock
+//                              documentation for self-locking entry points).
+//   RETURN_CAPABILITY(mu)    — the function returns a reference to `mu`.
+//   ASSERT_CAPABILITY(mu)    — the function asserts at runtime that `mu` is
+//                              held; the analysis takes its word for it.
+//                              audit::Mutex::AssertHeld() is annotated with
+//                              this, pairing every static contract with its
+//                              runtime twin.
+//   NO_THREAD_SAFETY_ANALYSIS — opt a function out. Policy: only with a
+//                              comment naming the reason (init/teardown
+//                              monotonic states, intentional benign races).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define MSPLOG_TS_ATTRIBUTE__(x) __attribute__((x))
+#endif
+#endif
+#ifndef MSPLOG_TS_ATTRIBUTE__
+#define MSPLOG_TS_ATTRIBUTE__(x)  // not clang: annotations erase to nothing
+#endif
+
+#define CAPABILITY(x) MSPLOG_TS_ATTRIBUTE__(capability(x))
+
+#define SCOPED_CAPABILITY MSPLOG_TS_ATTRIBUTE__(scoped_lockable)
+
+#define GUARDED_BY(x) MSPLOG_TS_ATTRIBUTE__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) MSPLOG_TS_ATTRIBUTE__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) MSPLOG_TS_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) MSPLOG_TS_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) MSPLOG_TS_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  MSPLOG_TS_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) MSPLOG_TS_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  MSPLOG_TS_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) MSPLOG_TS_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  MSPLOG_TS_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  MSPLOG_TS_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  MSPLOG_TS_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  MSPLOG_TS_ATTRIBUTE__(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) MSPLOG_TS_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) MSPLOG_TS_ATTRIBUTE__(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  MSPLOG_TS_ATTRIBUTE__(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) MSPLOG_TS_ATTRIBUTE__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MSPLOG_TS_ATTRIBUTE__(no_thread_safety_analysis)

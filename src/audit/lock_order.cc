@@ -6,14 +6,22 @@
 #include <mutex>
 #include <set>
 
+#include "audit/invariants.h"
+
 namespace msplog {
 namespace audit {
 
 namespace {
 constexpr size_t kMaxReports = 64;
 
-/// Stack of lock ids held by this thread, in acquisition order.
-thread_local std::vector<LockId> tls_held;
+/// One held lock: its id and the mode it was acquired in.
+struct HeldLock {
+  LockId id;
+  bool shared;
+};
+
+/// Stack of locks held by this thread, in acquisition order.
+thread_local std::vector<HeldLock> tls_held;
 }  // namespace
 
 struct LockOrderRegistry::Impl {
@@ -85,7 +93,8 @@ void LockOrderRegistry::OnAcquire(LockId id) {
   if (tls_held.empty()) return;  // fast path: no edges possible
   Impl& im = impl();
   std::lock_guard<std::mutex> lk(im.mu);
-  for (LockId held : tls_held) {
+  for (const HeldLock& h : tls_held) {
+    LockId held = h.id;
     if (held == id) continue;  // re-entrant CV reacquire of the same lock
     auto& tos = im.edges[held];
     if (!tos.insert(id).second) continue;  // edge known → already checked
@@ -109,16 +118,41 @@ void LockOrderRegistry::OnAcquire(LockId id) {
   }
 }
 
-void LockOrderRegistry::OnAcquired(LockId id) { tls_held.push_back(id); }
+void LockOrderRegistry::OnAcquired(LockId id, bool shared) {
+  tls_held.push_back({id, shared});
+}
 
 void LockOrderRegistry::OnRelease(LockId id) {
   // Usually LIFO, but scoped locks may be released in any order.
   for (auto it = tls_held.rbegin(); it != tls_held.rend(); ++it) {
-    if (*it == id) {
+    if (it->id == id) {
       tls_held.erase(std::next(it).base());
       return;
     }
   }
+}
+
+bool LockOrderRegistry::AssertHeldByThisThread(LockId id,
+                                               bool shared_ok) const {
+  bool held_shared = false;
+  for (const HeldLock& h : tls_held) {
+    if (h.id != id) continue;
+    if (!h.shared) return true;  // exclusive ownership satisfies both modes
+    held_shared = true;
+  }
+  if (held_shared && shared_ok) return true;
+  Impl& im = impl();
+  std::string name;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    name = im.NameOf(id);
+  }
+  InvariantRegistry::Instance().Violation(
+      "lock-assert-held",
+      std::string(shared_ok ? "AssertSharedHeld" : "AssertHeld") + " on " +
+          name + ": calling thread holds it " +
+          (held_shared ? "only shared (exclusive required)" : "not at all"));
+  return false;
 }
 
 uint64_t LockOrderRegistry::cycles_detected() const {

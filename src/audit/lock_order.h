@@ -47,10 +47,20 @@ class LockOrderRegistry {
   /// runs cycle detection on any new edge.
   void OnAcquire(LockId id);
   /// Called after the native mutex is owned: pushes onto the thread stack.
-  void OnAcquired(LockId id);
+  /// `shared` records the ownership mode for AssertHeldByThisThread.
+  void OnAcquired(LockId id, bool shared = false);
   /// Called before the native unlock: removes from the thread stack (the
   /// release order need not be LIFO).
   void OnRelease(LockId id);
+
+  /// Runtime twin of a static REQUIRES / REQUIRES_SHARED contract
+  /// (audit/annotations.h): true iff the calling thread holds `id` —
+  /// exclusively, or in either mode when `shared_ok`. A failed assert is
+  /// reported as a "lock-assert-held" violation through the invariant sink
+  /// (audit/invariants.h) with the lock's name; like every auditor check it
+  /// is non-fatal by default. The success path is one scan of the
+  /// thread-local held-set — no locking, no allocation.
+  bool AssertHeldByThisThread(LockId id, bool shared_ok) const;
 
   /// Number of cycle detections so far (every occurrence counts).
   uint64_t cycles_detected() const;

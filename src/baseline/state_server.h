@@ -46,10 +46,12 @@ class StateServerNode {
   std::string name_;
   std::shared_ptr<Mailbox> mailbox_;
   std::thread thread_;
+  /// Touched only by the driver thread (Start/Crash/dtor); Loop() never
+  /// reads it, so it needs no lock.
   bool running_ = false;
 
   mutable audit::Mutex mu_{"state_server"};
-  std::map<std::string, Bytes> store_;
+  std::map<std::string, Bytes> store_ GUARDED_BY(mu_);
 };
 
 }  // namespace msplog

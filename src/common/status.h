@@ -117,17 +117,20 @@ class StatusOr {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
+  // The class invariant (value_ is engaged iff status_.ok()) is asserted
+  // here but invisible to bugprone-unchecked-optional-access, hence the
+  // targeted NOLINTs.
   T& value() & {
     assert(ok());
-    return *value_;
+    return *value_;  // NOLINT(bugprone-unchecked-optional-access)
   }
   const T& value() const& {
     assert(ok());
-    return *value_;
+    return *value_;  // NOLINT(bugprone-unchecked-optional-access)
   }
   T&& value() && {
     assert(ok());
-    return std::move(*value_);
+    return std::move(*value_);  // NOLINT(bugprone-unchecked-optional-access)
   }
 
   T& operator*() { return value(); }

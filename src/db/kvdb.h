@@ -61,8 +61,8 @@ class KvDb {
   KvDbOptions options_;
 
   mutable audit::Mutex mu_{"kvdb"};
-  std::map<std::string, Bytes> table_;
-  bool recovered_ = false;
+  std::map<std::string, Bytes> table_ GUARDED_BY(mu_);
+  bool recovered_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace msplog

@@ -159,7 +159,7 @@ class PaperWorkload {
   std::atomic<bool> crash_armed_{false};
   std::atomic<uint64_t> crashes_injected_{0};
   audit::Mutex crash_threads_mu_{"workload.crash_threads"};
-  std::vector<std::thread> crash_threads_;
+  std::vector<std::thread> crash_threads_ GUARDED_BY(crash_threads_mu_);
   /// Serializes injected crash/restart cycles of MSP2.
   audit::Mutex crash_cycle_mu_{"workload.crash_cycle"};
   std::atomic<int> next_client_ = 1;

@@ -105,7 +105,10 @@ uint64_t LogFile::Append(const LogRecord& rec, size_t* framed_size) {
   if (buffer_.size() > options_.max_buffer_bytes && !crashed_) {
     // Safety valve: flush inline on the appender's thread.
     if (flush_in_progress_) {
-      cv_.wait(lk, [&] { return !flush_in_progress_ || crashed_; });
+      cv_.wait(lk, [&] {
+        mu_.AssertHeld();
+        return !flush_in_progress_ || crashed_;
+      });
     } else {
       DoFlushLocked(lk);
     }
@@ -114,6 +117,7 @@ uint64_t LogFile::Append(const LogRecord& rec, size_t* framed_size) {
 }
 
 Status LogFile::DoFlushLocked(audit::UniqueLock& lk) {
+  mu_.AssertHeld();
   assert(!flush_in_progress_);
   if (crashed_) return Status::Crashed("log crashed");
   if (buffer_.empty()) return Status::OK();
@@ -131,6 +135,11 @@ Status LogFile::DoFlushLocked(audit::UniqueLock& lk) {
   buffer_.clear();
   buffer_base_ = base + padded;
 
+  // View taken under the lock for the unlocked write below: while
+  // flush_in_progress_ is set no other thread mutates pending_, so the view
+  // stays valid (concurrent ReadRecordAt reads are lock-protected and
+  // read-only).
+  ByteView pending_view(pending_);
   lk.unlock();
   if (options_.on_physical_write) options_.on_physical_write();
   double t0 = env_->NowModelMs();
@@ -143,8 +152,7 @@ Status LogFile::DoFlushLocked(audit::UniqueLock& lk) {
   Status st;
   for (uint64_t off = 0; off < padded; off += max_block_bytes) {
     uint64_t n = std::min<uint64_t>(max_block_bytes, padded - off);
-    st = disk_->WriteAt(file_name_, base + off,
-                        ByteView(pending_).substr(off, n));
+    st = disk_->WriteAt(file_name_, base + off, pending_view.substr(off, n));
     if (!st.ok()) break;
   }
   double t1 = env_->NowModelMs();
@@ -184,7 +192,10 @@ Status LogFile::FlushUpToImpl(uint64_t lsn) {
       if (crashed_) return Status::Crashed("log crashed");
       flush_requested_ = true;
       cv_.notify_all();
-      cv_.wait(lk, [&] { return durable_end_ > lsn || crashed_; });
+      cv_.wait(lk, [&] {
+        mu_.AssertHeld();
+        return durable_end_ > lsn || crashed_;
+      });
     }
     return crashed_ ? Status::Crashed("log crashed") : Status::OK();
   }
@@ -195,7 +206,10 @@ Status LogFile::FlushUpToImpl(uint64_t lsn) {
   // this non-coalescing is what batch flushing (§5.5) removes.
   while (flush_in_progress_) {
     if (crashed_) return Status::Crashed("log crashed");
-    cv_.wait(lk, [&] { return !flush_in_progress_ || crashed_; });
+    cv_.wait(lk, [&] {
+      mu_.AssertHeld();
+      return !flush_in_progress_ || crashed_;
+    });
   }
   if (crashed_) return Status::Crashed("log crashed");
   if (durable_end_ <= lsn) {
@@ -317,7 +331,10 @@ void LogFile::Crash() {
 void LogFile::BatchFlusherLoop() {
   audit::UniqueLock lk(mu_);
   while (!stop_) {
-    cv_.wait(lk, [&] { return stop_ || flush_requested_; });
+    cv_.wait(lk, [&] {
+      mu_.AssertHeld();
+      return stop_ || flush_requested_;
+    });
     if (stop_) break;
     flush_requested_ = false;
     // Batch window: let more flush requests accumulate before the write.
@@ -326,7 +343,10 @@ void LogFile::BatchFlusherLoop() {
     lk.lock();
     if (stop_ || crashed_) continue;
     if (flush_in_progress_) {
-      cv_.wait(lk, [&] { return !flush_in_progress_ || stop_; });
+      cv_.wait(lk, [&] {
+        mu_.AssertHeld();
+        return !flush_in_progress_ || stop_;
+      });
       if (stop_) break;
     }
     DoFlushLocked(lk);

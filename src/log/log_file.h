@@ -95,8 +95,11 @@ class LogFile {
   void Stop();
 
  private:
-  Status FlushUpToImpl(uint64_t lsn);
-  Status DoFlushLocked(audit::UniqueLock& lk);
+  Status FlushUpToImpl(uint64_t lsn) EXCLUDES(mu_);
+  /// Hands the buffer to `pending_` and performs the physical write with the
+  /// lock dropped (`lk` is the caller's lock on mu_, released and reacquired
+  /// around the I/O); entered and exited with mu_ held.
+  Status DoFlushLocked(audit::UniqueLock& lk) REQUIRES(mu_);
   void BatchFlusherLoop();
 
   SimEnvironment* env_;
@@ -114,16 +117,21 @@ class LogFile {
 
   mutable audit::Mutex mu_{"log_file"};
   audit::CondVar cv_;
-  Bytes buffer_;            ///< not yet handed to a flush
-  uint64_t buffer_base_;    ///< LSN of buffer_[0]
-  Bytes pending_;           ///< handed to an in-flight flush
-  uint64_t pending_base_ = 0;
-  uint64_t durable_end_;    ///< sector-aligned durable extent
-  uint64_t reclaimed_end_ = 0;  ///< prefix released by ReclaimUpTo
-  bool flush_in_progress_ = false;
-  bool flush_requested_ = false;
-  bool crashed_ = false;
-  bool stop_ = false;
+  Bytes buffer_ GUARDED_BY(mu_);          ///< not yet handed to a flush
+  uint64_t buffer_base_ GUARDED_BY(mu_);  ///< LSN of buffer_[0]
+  /// Handed to an in-flight flush. While flush_in_progress_ is set, only the
+  /// flushing thread writes it; everyone else (ReadRecordAt) reads it under
+  /// mu_ — the flusher's unlocked read during the physical write goes
+  /// through a view taken under the lock.
+  Bytes pending_ GUARDED_BY(mu_);
+  uint64_t pending_base_ GUARDED_BY(mu_) = 0;
+  uint64_t durable_end_ GUARDED_BY(mu_);  ///< sector-aligned durable extent
+  /// Prefix released by ReclaimUpTo.
+  uint64_t reclaimed_end_ GUARDED_BY(mu_) = 0;
+  bool flush_in_progress_ GUARDED_BY(mu_) = false;
+  bool flush_requested_ GUARDED_BY(mu_) = false;
+  bool crashed_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread batch_thread_;
 };
 

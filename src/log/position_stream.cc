@@ -20,6 +20,7 @@ void PositionStream::Add(uint64_t lsn) {
 }
 
 void PositionStream::FlushBufferLocked() {
+  mu_.AssertHeld();
   if (persisted_count_ == positions_.size()) return;
   BinaryWriter w;
   for (size_t i = persisted_count_; i < positions_.size(); ++i) {

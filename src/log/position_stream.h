@@ -51,15 +51,17 @@ class PositionStream {
   Status LoadPersisted(std::vector<uint64_t>* out) const;
 
  private:
-  void FlushBufferLocked();
+  void FlushBufferLocked() REQUIRES(mu_);
 
   SimDisk* disk_;
   std::string file_;
   size_t buffer_capacity_;
 
   mutable audit::Mutex mu_{"position_stream"};
-  std::vector<uint64_t> positions_;  ///< full stream
-  size_t persisted_count_ = 0;       ///< prefix of positions_ already on disk
+  /// Full stream.
+  std::vector<uint64_t> positions_ GUARDED_BY(mu_);
+  /// Prefix of positions_ already on disk.
+  size_t persisted_count_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace msplog

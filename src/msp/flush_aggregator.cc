@@ -79,6 +79,7 @@ void FlushAggregator::LaunchLocked(
     const MspId& peer, PeerState& ps, StateId target,
     std::vector<std::shared_ptr<FlushWaiter>> waiters,
     const obs::SpanContext& parent_span) {
+  mu_.AssertHeld();
   uint64_t fid = next_flush_id_++;
   Flight f;
   f.peer = peer;
@@ -123,6 +124,7 @@ void FlushAggregator::LaunchLocked(
 }
 
 void FlushAggregator::LaunchQueuedLocked(const MspId& peer, PeerState& ps) {
+  mu_.AssertHeld();
   if (ps.queued.empty()) return;
   // Legs covered by the accumulated maximum fly now; an epoch-mismatched
   // remainder (rare: mixed-epoch dependencies) waits for the next landing.
@@ -229,6 +231,7 @@ void FlushAggregator::OnWaitTimeout(const std::shared_ptr<FlushWaiter>& w) {
 }
 
 void FlushAggregator::TimeOutFlightLocked(uint64_t flight_id) {
+  mu_.AssertHeld();
   auto it = flights_.find(flight_id);
   if (it == flights_.end()) return;
   Flight dead = std::move(it->second);
@@ -276,12 +279,14 @@ void FlushAggregator::Abandon(const std::shared_ptr<FlushWaiter>& w) {
 }
 
 void FlushAggregator::AdvanceWatermarkLocked(PeerState& ps, StateId id) {
+  mu_.AssertHeld();
   if (ps.watermark < id) ps.watermark = id;
 }
 
 void FlushAggregator::SettleLocked(const std::shared_ptr<FlushWaiter>& w,
                                    bool ok, bool timed_out, bool crashed,
                                    uint32_t orphan_epoch, uint64_t orphan_sn) {
+  mu_.AssertHeld();
   audit::LockGuard clk(w->call->mu);
   if (w->settled) return;
   w->settled = true;

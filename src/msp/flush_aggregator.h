@@ -60,8 +60,8 @@ namespace msplog {
 struct FlushCall {
   audit::Mutex mu{"msp.flush_call"};
   audit::CondVar cv;
-  size_t unsettled = 0;  ///< legs not yet settled (guarded by mu)
-  bool fatal = false;    ///< some settled leg was not ok (guarded by mu)
+  size_t unsettled GUARDED_BY(mu) = 0;  ///< legs not yet settled
+  bool fatal GUARDED_BY(mu) = false;    ///< some settled leg was not ok
 };
 
 /// One leg of one distributed flush: "make (epoch, sn) durable at `peer`".
@@ -71,13 +71,14 @@ struct FlushWaiter {
   StateId id;
   obs::SpanContext span;  ///< the submitting flush's span (trace parent)
 
-  // -- outcome, guarded by call->mu --
-  bool settled = false;
-  bool ok = false;
-  bool timed_out = false;
-  bool crashed = false;
-  uint32_t orphan_epoch = 0;  ///< authoritative-failure witness (0 = none)
-  uint64_t orphan_sn = 0;
+  // -- outcome, guarded by the rendezvous mutex --
+  bool settled GUARDED_BY(call->mu) = false;
+  bool ok GUARDED_BY(call->mu) = false;
+  bool timed_out GUARDED_BY(call->mu) = false;
+  bool crashed GUARDED_BY(call->mu) = false;
+  /// Authoritative-failure witness (0 = none).
+  uint32_t orphan_epoch GUARDED_BY(call->mu) = 0;
+  uint64_t orphan_sn GUARDED_BY(call->mu) = 0;
 
   // -- flight bookkeeping, guarded by FlushAggregator::mu_ --
   uint64_t flight_id = 0;       ///< 0 = queued behind the peer's open flight
@@ -152,23 +153,23 @@ class FlushAggregator {
 
   void LaunchLocked(const MspId& peer, PeerState& ps, StateId target,
                     std::vector<std::shared_ptr<FlushWaiter>> waiters,
-                    const obs::SpanContext& parent_span);
-  void LaunchQueuedLocked(const MspId& peer, PeerState& ps);
-  void TimeOutFlightLocked(uint64_t flight_id);
-  void AdvanceWatermarkLocked(PeerState& ps, StateId id);
+                    const obs::SpanContext& parent_span) REQUIRES(mu_);
+  void LaunchQueuedLocked(const MspId& peer, PeerState& ps) REQUIRES(mu_);
+  void TimeOutFlightLocked(uint64_t flight_id) REQUIRES(mu_);
+  void AdvanceWatermarkLocked(PeerState& ps, StateId id) REQUIRES(mu_);
   /// Settle `w` (idempotent): takes call->mu under mu_, wakes the caller.
   void SettleLocked(const std::shared_ptr<FlushWaiter>& w, bool ok,
                     bool timed_out, bool crashed, uint32_t orphan_epoch,
-                    uint64_t orphan_sn);
+                    uint64_t orphan_sn) REQUIRES(mu_);
 
   SimEnvironment* env_;
   Options opts_;
   SendFn send_;
 
   mutable audit::Mutex mu_{"msp.flush_agg"};
-  std::map<MspId, PeerState> peers_;
-  std::map<uint64_t, Flight> flights_;
-  uint64_t next_flush_id_ = 1;
+  std::map<MspId, PeerState> peers_ GUARDED_BY(mu_);
+  std::map<uint64_t, Flight> flights_ GUARDED_BY(mu_);
+  uint64_t next_flush_id_ GUARDED_BY(mu_) = 1;
 
   // Observability handles (owned by the environment's registry).
   obs::Counter* ctr_legs_;        ///< "flush.legs_requested"
@@ -207,8 +208,8 @@ class InboundFlushCoalescer {
   ReplyFn reply_;
 
   audit::Mutex mu_{"msp.flush_inbound"};
-  bool draining_ = false;
-  std::vector<Request> queue_;
+  bool draining_ GUARDED_BY(mu_) = false;
+  std::vector<Request> queue_ GUARDED_BY(mu_);
 
   obs::Counter* ctr_flushes_saved_;  ///< "flush.peer_flushes_saved"
   obs::Histogram* hist_batch_;       ///< "flush.inbound_batch"

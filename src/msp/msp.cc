@@ -123,7 +123,7 @@ Status Msp::Start() {
     audit::LockGuard lk(cp_mu_);
     cp_stop_ = false;
   }
-  last_msp_cp_log_end_ = 0;
+  last_msp_cp_log_end_.store(0);
 
   if (config_.mode == RecoveryMode::kPsession) {
     psession_db_ = std::make_unique<KvDb>(env_, disk_, config_.id + ".db");
@@ -874,7 +874,10 @@ Status Msp::CallRoundTrip(const std::string& dest, const Message& req,
       got = pc->cv.wait_for(
           lk,
           std::chrono::milliseconds(RealWaitMs(config_.call_resend_timeout_ms)),
-          [&] { return pc->done || pc->failed; });
+          [&] {
+            pc->mu.AssertHeld();
+            return pc->done || pc->failed;
+          });
       failed = pc->failed;
       done = pc->done;
       if (done) reply = std::move(pc->reply);
@@ -1084,7 +1087,10 @@ Status Msp::DistributedFlushImpl(const DependencyVector& dv,
       audit::UniqueLock lk(call->mu);
       call->cv.wait_for(
           lk, std::chrono::milliseconds(RealWaitMs(config_.flush_timeout_ms)),
-          [&] { return call->unsettled == 0 || call->fatal; });
+          [&] {
+            call->mu.AssertHeld();
+            return call->unsettled == 0 || call->fatal;
+          });
       all_settled = call->unsettled == 0;
       fatal = call->fatal;
     }

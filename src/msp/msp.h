@@ -160,7 +160,7 @@ class Msp {
 
   /// Model ms the most recent crash recovery's analysis scan took.
   /// Back-compat shim over LastRecoveryTimeline().analysis_scan_ms.
-  double last_recovery_scan_ms() const {
+  double last_recovery_scan_ms() const EXCLUDES(timeline_mu_) {
     audit::LockGuard lk(timeline_mu_);
     return last_recovery_timeline_.analysis_scan_ms;
   }
@@ -175,7 +175,7 @@ class Msp {
   void QuiesceSession(Session* s) const;
 
   /// Crash body; caller holds lifecycle_mu_.
-  void CrashLocked();
+  void CrashLocked() REQUIRES(lifecycle_mu_);
 
   // ---- threads ----
   void DispatchLoop();
@@ -296,63 +296,83 @@ class Msp {
   std::atomic<State> state_{State::kStopped};
   std::atomic<uint32_t> epoch_{0};
 
-  std::unique_ptr<LogFile> log_;
-  LogAnchor anchor_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<ThreadPool> control_pool_;
-  std::shared_ptr<Mailbox> mailbox_;
+  // Lifecycle substrate: (re)built in Start() before any worker thread
+  // exists and torn down in Crash()/Shutdown() after quiesce, with the
+  // cycles serialized by lifecycle_mu_ — so these handles are stable
+  // whenever another thread can observe them.
+  std::unique_ptr<LogFile> log_;             // audit:allow(guarded-by)
+  LogAnchor anchor_;                         // audit:allow(guarded-by)
+  std::unique_ptr<ThreadPool> pool_;         // audit:allow(guarded-by)
+  std::unique_ptr<ThreadPool> control_pool_; // audit:allow(guarded-by)
+  std::shared_ptr<Mailbox> mailbox_;         // audit:allow(guarded-by)
   std::thread dispatch_thread_;
   std::thread checkpoint_thread_;
   audit::Mutex cp_mu_{"msp.cp"};
   audit::CondVar cp_cv_;
-  bool cp_stop_ = false;
+  bool cp_stop_ GUARDED_BY(cp_mu_) = false;
 
+  /// Guards the session *table* and the per-session scheduling flags
+  /// (Session::pending_requests / worker_active / recovering /
+  /// needs_orphan_check / needs_checkpoint / ended) — a cross-class guard
+  /// the static analysis cannot express; the auditor's lock-order tracking
+  /// still covers it at runtime.
   mutable audit::Mutex sessions_mu_{"msp.sessions"};
-  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_
+      GUARDED_BY(sessions_mu_);
 
   mutable audit::Mutex vars_mu_{"msp.vars"};
-  std::map<std::string, std::shared_ptr<SharedVariable>> shared_vars_;
+  std::map<std::string, std::shared_ptr<SharedVariable>> shared_vars_
+      GUARDED_BY(vars_mu_);
 
-  std::map<std::string, ServiceMethod> methods_;
+  /// Written only before Start() (RegisterMethod), read-only afterwards:
+  /// no lock by design.
+  std::map<std::string, ServiceMethod> methods_;  // audit:allow(guarded-by)
 
   mutable audit::Mutex table_mu_{"msp.table"};
-  RecoveredStateTable recovered_table_;
+  RecoveredStateTable recovered_table_ GUARDED_BY(table_mu_);
 
   struct PendingCall {
     audit::Mutex mu{"msp.pending"};
     audit::CondVar cv;
-    bool done = false;
-    bool failed = false;
-    Message reply;
+    bool done GUARDED_BY(mu) = false;
+    bool failed GUARDED_BY(mu) = false;
+    Message reply GUARDED_BY(mu);
   };
   audit::Mutex calls_mu_{"msp.calls"};
   std::map<std::pair<std::string, uint64_t>, std::shared_ptr<PendingCall>>
-      pending_calls_;
+      pending_calls_ GUARDED_BY(calls_mu_);
 
   /// Sender-side group commit for distributed-flush legs: per-peer durable
   /// watermark (skip), in-flight flight state (join/queue) and dispatch.
-  /// Created once; Reset() on Start, FailAll() on crash.
-  std::unique_ptr<FlushAggregator> flush_agg_;
+  /// Created once (internally locked); Reset() on Start, FailAll() on
+  /// crash.
+  std::unique_ptr<FlushAggregator> flush_agg_;  // audit:allow(guarded-by)
   /// Receiver-side group commit: concurrent kFlushRequests ride one
-  /// LogFile::FlushUpTo. Rebuilt on every Start (binds the fresh log).
-  std::unique_ptr<InboundFlushCoalescer> inbound_flush_;
+  /// LogFile::FlushUpTo. Rebuilt on every Start (binds the fresh log),
+  /// before the dispatch thread that uses it exists.
+  std::unique_ptr<InboundFlushCoalescer>
+      inbound_flush_;  // audit:allow(guarded-by)
 
   /// Serializes MSP checkpoints.
   audit::Mutex msp_cp_mu_{"msp.msp_cp"};
   /// The single CPU core (config.single_core_cpu).
   audit::Mutex cpu_mu_{"msp.cpu"};
 
-  uint64_t last_msp_cp_log_end_ = 0;
-  RequestHook after_request_hook_;
+  /// Log extent as of the last MSP checkpoint. Atomic: written under
+  /// msp_cp_mu_ (and in Start before threads exist) but read by the
+  /// checkpoint daemon's staleness test without any lock.
+  std::atomic<uint64_t> last_msp_cp_log_end_{0};
+  /// Test instrumentation, installed before Start().
+  RequestHook after_request_hook_;  // audit:allow(guarded-by)
 
   /// Timeline of the most recent CrashRecovery(); session-replay entries
   /// (including lazy orphan recoveries) are appended as they finish.
   mutable audit::Mutex timeline_mu_{"msp.timeline"};
-  obs::RecoveryTimeline last_recovery_timeline_;
+  obs::RecoveryTimeline last_recovery_timeline_ GUARDED_BY(timeline_mu_);
   /// Completed predecessors of last_recovery_timeline_, oldest first,
-  /// trimmed to kRecoveryHistoryLimit. Guarded by timeline_mu_.
+  /// trimmed to kRecoveryHistoryLimit.
   static constexpr size_t kRecoveryHistoryLimit = 8;
-  std::deque<obs::RecoveryTimeline> recovery_history_;
+  std::deque<obs::RecoveryTimeline> recovery_history_ GUARDED_BY(timeline_mu_);
   /// Concurrent RecoverSessionReplay calls right now / high-water mark.
   std::atomic<uint32_t> active_replays_{0};
 
@@ -364,7 +384,8 @@ class Msp {
   obs::Histogram* hist_replay_ms_;      ///< "msp.replay_ms" per session replay
   obs::Counter* ctr_requests_;          ///< "msp.requests"
 
-  std::unique_ptr<KvDb> psession_db_;
+  /// Created in Start() before workers exist; KvDb is internally locked.
+  std::unique_ptr<KvDb> psession_db_;  // audit:allow(guarded-by)
 };
 
 }  // namespace msplog

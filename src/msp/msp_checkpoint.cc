@@ -158,7 +158,7 @@ Status Msp::TakeMspCheckpoint(bool force_units) {
   // are serialized by design; the flush is the checkpoint's commit point.
   MSPLOG_RETURN_IF_ERROR(log_->FlushAll());
   MSPLOG_RETURN_IF_ERROR(anchor_.Write({lsn, epoch_.load()}));
-  last_msp_cp_log_end_ = log_->end_lsn();
+  last_msp_cp_log_end_.store(log_->end_lsn());
   env_->stats().checkpoints_msp.fetch_add(1);
 
   // Log-space reclamation: no recovery — crash, session or shared-variable —
@@ -234,11 +234,14 @@ void Msp::CheckpointDaemonLoop() {
     cp_cv_.wait_for(lk,
                     std::chrono::milliseconds(
                         RealWaitMs(config_.checkpoint_interval_ms)),
-                    [&] { return cp_stop_; });
+                    [&] {
+                      cp_mu_.AssertHeld();
+                      return cp_stop_;
+                    });
     if (cp_stop_) break;
     lk.unlock();
     if (config_.msp_checkpoint_log_bytes > 0 && log_ &&
-        log_->end_lsn() - last_msp_cp_log_end_ >=
+        log_->end_lsn() - last_msp_cp_log_end_.load() >=
             config_.msp_checkpoint_log_bytes &&
         state_.load() == State::kRunning) {
       (void)TakeMspCheckpoint(true);

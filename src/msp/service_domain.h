@@ -31,7 +31,7 @@ class DomainDirectory {
 
  private:
   mutable audit::Mutex mu_{"service_domain"};
-  std::map<std::string, std::string> domain_of_;
+  std::map<std::string, std::string> domain_of_ GUARDED_BY(mu_);
 };
 
 }  // namespace msplog

@@ -68,11 +68,14 @@ class Session {
   DependencyVector audit_shadow_dv;
   uint64_t state_number = 0; ///< LSN of this session's most recent log record
   /// first_lsn / last_checkpoint_lsn are read by the fuzzy MSP checkpoint
-  /// without owning the session, hence atomic.
+  /// without owning the session, hence atomic. The two checkpoint-staleness
+  /// counters below are atomic for the same reason: the owner thread resets
+  /// them at a session checkpoint while TakeMspCheckpoint (holding only the
+  /// session-table mutex, not session ownership) increments and reads them.
   std::atomic<uint64_t> first_lsn{0};          ///< LSN of kSessionStart
   std::atomic<uint64_t> last_checkpoint_lsn{0};  ///< 0 = never checkpointed
-  uint64_t bytes_logged_since_cp = 0;
-  uint32_t msp_cps_since_cp = 0;
+  std::atomic<uint64_t> bytes_logged_since_cp{0};
+  std::atomic<uint32_t> msp_cps_since_cp{0};
   PositionStream positions;
 
   // ---- message bookkeeping (§3.1) ----

@@ -26,16 +26,19 @@ class SharedVariable {
   const std::string name;
   const Bytes initial_value;
 
-  // All fields below are guarded by `rw`.
-  Bytes value;
-  DependencyVector dv;        ///< dependency of the current value
-  uint64_t state_number = 0;  ///< LSN of the most recent write (0 = initial)
-  uint64_t last_write_lsn = 0;  ///< head of the backward write chain
-  uint64_t last_checkpoint_lsn = 0;
-  uint32_t writes_since_cp = 0;
-  uint32_t msp_cps_since_cp = 0;
-
+  // The lock is declared before the state it guards so the GUARDED_BY
+  // expressions below can name it.
   audit::SharedMutex rw{"shared_var.rw"};
+
+  Bytes value GUARDED_BY(rw);
+  DependencyVector dv GUARDED_BY(rw);  ///< dependency of the current value
+  /// LSN of the most recent write (0 = initial).
+  uint64_t state_number GUARDED_BY(rw) = 0;
+  /// Head of the backward write chain.
+  uint64_t last_write_lsn GUARDED_BY(rw) = 0;
+  uint64_t last_checkpoint_lsn GUARDED_BY(rw) = 0;
+  uint32_t writes_since_cp GUARDED_BY(rw) = 0;
+  uint32_t msp_cps_since_cp GUARDED_BY(rw) = 0;
 };
 
 }  // namespace msplog

@@ -59,7 +59,10 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       audit::UniqueLock lk(mu_);
-      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      cv_.wait(lk, [&] {
+        mu_.AssertHeld();
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stop_ and drained (or discarded)
       if (discard_) return;
       task = std::move(queue_.front());

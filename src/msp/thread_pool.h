@@ -39,9 +39,11 @@ class ThreadPool {
 
   mutable audit::Mutex mu_{"thread_pool"};
   audit::CondVar cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
-  bool discard_ = false;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool discard_ GUARDED_BY(mu_) = false;
+  /// Written only while spawning (constructor) and joining (Shutdown/Abort,
+  /// serialized by stop_); sized concurrently by num_threads().
   std::vector<std::thread> workers_;
 };
 

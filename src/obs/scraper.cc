@@ -49,6 +49,7 @@ MetricsScraper::~MetricsScraper() { Stop(); }
 void MetricsScraper::AddProbeLocked(const std::string& name,
                                     const char* prom_type,
                                     std::function<double()> read) {
+  mu_.AssertHeld();
   for (const auto& p : probes_) {
     if (p->name == name) return;  // already watched
   }
@@ -129,6 +130,7 @@ void MetricsScraper::SampleNow() {
 }
 
 void MetricsScraper::SampleLocked(double now) {
+  mu_.AssertHeld();
   for (auto& p : probes_) {
     p->ring.Push(now, p->read());
   }
@@ -141,7 +143,10 @@ void MetricsScraper::Loop() {
     SampleLocked(now_ms_());
     cv_.wait_for(lk,
                  std::chrono::duration<double, std::milli>(options_.period_ms),
-                 [this] { return stop_; });
+                 [this] {
+                   mu_.AssertHeld();
+                   return stop_;
+                 });
   }
 }
 

@@ -154,8 +154,8 @@ class MetricsScraper {
   };
 
   void AddProbeLocked(const std::string& name, const char* prom_type,
-                      std::function<double()> read);
-  void SampleLocked(double now);
+                      std::function<double()> read) REQUIRES(mu_);
+  void SampleLocked(double now) REQUIRES(mu_);
   void Loop();
 
   MetricsRegistry* registry_;
@@ -167,9 +167,9 @@ class MetricsScraper {
   audit::Mutex lifecycle_mu_{"obs.scraper.lifecycle"};
   mutable audit::Mutex mu_{"obs.scraper"};
   audit::CondVar cv_;
-  std::vector<std::unique_ptr<Probe>> probes_;
-  bool running_ = false;
-  bool stop_ = false;
+  std::vector<std::unique_ptr<Probe>> probes_ GUARDED_BY(mu_);
+  bool running_ GUARDED_BY(mu_) = false;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread thread_;
   std::atomic<uint64_t> samples_{0};
 };

@@ -116,7 +116,7 @@ class SessionStats {
   std::atomic<uint64_t> dv_entries_{0};
 
   mutable audit::Mutex peers_mu_{"obs.session_stats.peers"};
-  std::map<std::string, uint64_t> calls_by_peer_;
+  std::map<std::string, uint64_t> calls_by_peer_ GUARDED_BY(peers_mu_);
 };
 
 }  // namespace obs

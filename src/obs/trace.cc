@@ -75,8 +75,7 @@ EventTracer::EventTracer(size_t capacity, size_t stripes) {
   per_stripe_ = std::max<size_t>(1, capacity / stripes);
   stripes_.reserve(stripes);
   for (size_t i = 0; i < stripes; ++i) {
-    stripes_.push_back(std::make_unique<Stripe>());
-    stripes_.back()->ring.reserve(per_stripe_);
+    stripes_.push_back(std::make_unique<Stripe>(per_stripe_));
   }
 }
 

@@ -124,10 +124,15 @@ class EventTracer {
 
  private:
   struct Stripe {
+    /// A class's own constructor is exempt from the analysis, so the
+    /// capacity reservation lives here rather than in EventTracer's ctor.
+    explicit Stripe(size_t capacity) { ring.reserve(capacity); }
+
     mutable audit::Mutex mu{"obs.trace_stripe"};
-    std::vector<TraceEvent> ring;  ///< ring buffer, capacity per_stripe_
-    size_t next = 0;               ///< overwrite cursor once full
-    uint64_t total = 0;            ///< events ever recorded on this stripe
+    /// Ring buffer, capacity per_stripe_.
+    std::vector<TraceEvent> ring GUARDED_BY(mu);
+    size_t next GUARDED_BY(mu) = 0;   ///< overwrite cursor once full
+    uint64_t total GUARDED_BY(mu) = 0;  ///< events ever recorded here
   };
 
   size_t per_stripe_;

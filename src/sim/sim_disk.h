@@ -120,11 +120,13 @@ class SimDisk {
   obs::Histogram* hist_write_ms_;
   obs::Histogram* hist_read_ms_;
 
-  mutable audit::Mutex state_mu_{"sim_disk.state"};  ///< guards files_
-  audit::Mutex io_mu_{"sim_disk.io"};             ///< held across latency sleeps: one I/O at a time
-  std::map<std::string, Bytes> files_;
-  Rng rng_;
+  mutable audit::Mutex state_mu_{"sim_disk.state"};
+  /// Held across latency sleeps: one I/O at a time. Protects no data —
+  /// it models the single disk arm.
+  audit::Mutex io_mu_{"sim_disk.io"};
+  std::map<std::string, Bytes> files_ GUARDED_BY(state_mu_);
   audit::Mutex rng_mu_{"sim_disk.rng"};
+  Rng rng_ GUARDED_BY(rng_mu_);
 };
 
 }  // namespace msplog

@@ -7,7 +7,10 @@ namespace msplog {
 
 bool Mailbox::Pop(Packet* out) {
   audit::UniqueLock lk(mu_);
-  cv_.wait(lk, [&] { return closed_ || !queue_.empty(); });
+  cv_.wait(lk, [&] {
+    mu_.AssertHeld();
+    return closed_ || !queue_.empty();
+  });
   if (queue_.empty()) return false;
   *out = std::move(queue_.front());
   queue_.pop_front();
@@ -16,8 +19,10 @@ bool Mailbox::Pop(Packet* out) {
 
 bool Mailbox::PopWithTimeout(Packet* out, int64_t timeout_real_ms) {
   audit::UniqueLock lk(mu_);
-  cv_.wait_for(lk, std::chrono::milliseconds(timeout_real_ms),
-               [&] { return closed_ || !queue_.empty(); });
+  cv_.wait_for(lk, std::chrono::milliseconds(timeout_real_ms), [&] {
+    mu_.AssertHeld();
+    return closed_ || !queue_.empty();
+  });
   if (queue_.empty()) return false;
   *out = std::move(queue_.front());
   queue_.pop_front();
@@ -86,6 +91,7 @@ void SimNetwork::Unregister(const std::string& name) {
 
 const FaultPlan& SimNetwork::FaultsFor(const std::string& from,
                                        const std::string& to) const {
+  mu_.AssertHeld();
   auto it = faults_.find({from, to});
   return it == faults_.end() ? default_faults_ : it->second;
 }
@@ -177,7 +183,10 @@ void SimNetwork::DeliveryLoop() {
   audit::UniqueLock lk(mu_);
   while (!stop_) {
     if (schedule_.empty()) {
-      cv_.wait(lk, [&] { return stop_ || !schedule_.empty(); });
+      cv_.wait(lk, [&] {
+        mu_.AssertHeld();
+        return stop_ || !schedule_.empty();
+      });
       continue;
     }
     uint64_t now = env_->ElapsedRealNs();

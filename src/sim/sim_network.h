@@ -53,8 +53,8 @@ class Mailbox {
  private:
   mutable audit::Mutex mu_{"mailbox"};
   audit::CondVar cv_;
-  std::deque<Packet> queue_;
-  bool closed_ = false;
+  std::deque<Packet> queue_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 /// Probabilistic fault injection for a link (directed).
@@ -85,14 +85,26 @@ class SimNetwork {
   /// Symmetric one-way latency override for the {a, b} pair.
   void SetLinkLatency(const std::string& a, const std::string& b,
                       double one_way_ms);
-  void set_default_one_way_ms(double ms) { default_one_way_ms_ = ms; }
-  double default_one_way_ms() const { return default_one_way_ms_; }
-  void set_bandwidth_mbps(double mbps) { bandwidth_mbps_ = mbps; }
+  void set_default_one_way_ms(double ms) {
+    audit::LockGuard lk(mu_);
+    default_one_way_ms_ = ms;
+  }
+  double default_one_way_ms() const {
+    audit::LockGuard lk(mu_);
+    return default_one_way_ms_;
+  }
+  void set_bandwidth_mbps(double mbps) {
+    audit::LockGuard lk(mu_);
+    bandwidth_mbps_ = mbps;
+  }
 
   /// Fault plan for the directed link from → to (overrides the default).
   void SetFaults(const std::string& from, const std::string& to,
                  FaultPlan plan);
-  void SetDefaultFaults(FaultPlan plan) { default_faults_ = plan; }
+  void SetDefaultFaults(FaultPlan plan) {
+    audit::LockGuard lk(mu_);
+    default_faults_ = plan;
+  }
   void ClearFaults();
 
   /// One-way model latency for a pair including bandwidth for `bytes`.
@@ -113,27 +125,30 @@ class SimNetwork {
   };
 
   void DeliveryLoop();
-  void Deliver(Packet p);
+  void Deliver(Packet p) EXCLUDES(mu_);
   const FaultPlan& FaultsFor(const std::string& from,
-                             const std::string& to) const;
+                             const std::string& to) const REQUIRES(mu_);
 
   SimEnvironment* env_;
   /// Model one-way delay per delivered message ("net.delivery_ms").
   obs::Histogram* hist_delivery_ms_;
-  double default_one_way_ms_ = 0.0;
-  double bandwidth_mbps_ = 100.0;
-  FaultPlan default_faults_;
 
   mutable audit::Mutex mu_{"sim_network"};
   audit::CondVar cv_;
-  bool stop_ = false;
-  uint64_t next_seq_ = 0;
-  std::map<std::string, std::shared_ptr<Mailbox>> endpoints_;
-  std::map<std::pair<std::string, std::string>, double> link_latency_;
-  std::map<std::pair<std::string, std::string>, FaultPlan> faults_;
+  double default_one_way_ms_ GUARDED_BY(mu_) = 0.0;
+  double bandwidth_mbps_ GUARDED_BY(mu_) = 100.0;
+  FaultPlan default_faults_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::shared_ptr<Mailbox>> endpoints_
+      GUARDED_BY(mu_);
+  std::map<std::pair<std::string, std::string>, double> link_latency_
+      GUARDED_BY(mu_);
+  std::map<std::pair<std::string, std::string>, FaultPlan> faults_
+      GUARDED_BY(mu_);
   std::priority_queue<Scheduled, std::vector<Scheduled>, std::greater<>>
-      schedule_;
-  Rng rng_;
+      schedule_ GUARDED_BY(mu_);
+  Rng rng_ GUARDED_BY(mu_);
   std::thread delivery_thread_;
 };
 

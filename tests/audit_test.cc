@@ -206,6 +206,79 @@ TEST_F(InvariantTest, RecoveredTableMustDominateOldEpochs) {
 }
 
 // ---------------------------------------------------------------------------
+// AssertHeld / AssertSharedHeld — the runtime twin of the clang REQUIRES
+// annotations. Violations report through the invariant sink as
+// "lock-assert-held".
+// ---------------------------------------------------------------------------
+
+TEST_F(InvariantTest, AssertHeldPassesWhileHeld) {
+  audit::Mutex m("test.assert");
+  {
+    audit::LockGuard lk(m);
+    m.AssertHeld();
+  }
+  {
+    audit::UniqueLock lk(m);
+    m.AssertHeld();
+  }
+  EXPECT_EQ(
+      audit::InvariantRegistry::Instance().violations("lock-assert-held"),
+      0u);
+}
+
+TEST_F(InvariantTest, AssertHeldRingsWhenNotHeld) {
+  audit::Mutex m("test.assert");
+  m.AssertHeld();  // nothing held at all
+  EXPECT_EQ(
+      audit::InvariantRegistry::Instance().violations("lock-assert-held"),
+      1u);
+  // An unlock window (the DoFlushLocked I/O pattern) drops the held-set
+  // entry too: asserting inside the window must ring.
+  audit::UniqueLock lk(m);
+  lk.unlock();
+  m.AssertHeld();
+  EXPECT_EQ(
+      audit::InvariantRegistry::Instance().violations("lock-assert-held"),
+      2u);
+  lk.lock();  // dtor expects ownership state to match
+}
+
+TEST_F(InvariantTest, AssertHeldIsPerThread) {
+  // Ownership by SOME thread is not enough: the contract is about the
+  // calling thread.
+  audit::Mutex m("test.assert");
+  audit::LockGuard lk(m);
+  std::thread t([&] { m.AssertHeld(); });
+  t.join();
+  EXPECT_EQ(
+      audit::InvariantRegistry::Instance().violations("lock-assert-held"),
+      1u);
+}
+
+TEST_F(InvariantTest, SharedAssertDistinguishesReaderFromWriter) {
+  audit::SharedMutex rw("test.assert_rw");
+  {
+    audit::SharedLock lk(rw);
+    rw.AssertSharedHeld();  // a reader satisfies the shared contract
+    EXPECT_EQ(
+        audit::InvariantRegistry::Instance().violations("lock-assert-held"),
+        0u);
+    rw.AssertHeld();  // ... but not the exclusive one
+    EXPECT_EQ(
+        audit::InvariantRegistry::Instance().violations("lock-assert-held"),
+        1u);
+  }
+  {
+    audit::SharedUniqueLock lk(rw);
+    rw.AssertHeld();        // a writer satisfies the exclusive contract
+    rw.AssertSharedHeld();  // ... and subsumes the shared one
+  }
+  EXPECT_EQ(
+      audit::InvariantRegistry::Instance().violations("lock-assert-held"),
+      1u);
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end: injected faults must ring through the wired-in checkers.
 // ---------------------------------------------------------------------------
 
@@ -309,10 +382,27 @@ TEST_F(InvariantTest, CleanRunStaysSilent) {
 
 #else  // !MSPLOG_AUDIT_ENABLED
 
+// The MSPLOG_AUDIT=OFF shells must stay zero-cost: exactly the wrapped std
+// lock, no auditor id, no extra state. (The thread-safety annotations are
+// attributes and cost nothing either way.)
+static_assert(sizeof(audit::Mutex) == sizeof(std::mutex),
+              "audit-off Mutex shell must add no state");
+static_assert(sizeof(audit::SharedMutex) == sizeof(std::shared_mutex),
+              "audit-off SharedMutex shell must add no state");
+
 TEST(AuditDisabled, WrappersStillLock) {
   audit::Mutex m("noop");
   audit::LockGuard lk(m);
   audit::CheckLsnAdvance("t", 100, 0);  // no-op, must not fire anything
+  EXPECT_EQ(audit::InvariantRegistry::Instance().total_violations(), 0u);
+}
+
+TEST(AuditDisabled, AssertHeldIsANoOp) {
+  audit::Mutex m("noop");
+  m.AssertHeld();  // not held; the disabled twin must not ring or crash
+  audit::SharedMutex rw("noop.rw");
+  rw.AssertHeld();
+  rw.AssertSharedHeld();
   EXPECT_EQ(audit::InvariantRegistry::Instance().total_violations(), 0u);
 }
 
