@@ -22,7 +22,7 @@ constexpr int kRequests = 1200;
 constexpr uint64_t kThreshold = 96ull << 10;
 
 double MeasureThroughput(PaperConfig config, int crash_every,
-                         uint64_t* crashes) {
+                         uint64_t* crashes, obs::OutageReport* outage) {
   PaperWorkloadOptions opts;
   opts.config = config;
   opts.time_scale = kTimeScale;
@@ -31,6 +31,11 @@ double MeasureThroughput(PaperConfig config, int crash_every,
   if (!w.Start().ok()) return -1;
   RunResult r = w.RunSingleClient(kRequests, crash_every);
   *crashes = w.crashes_injected();
+  // The injected crashes hit MSP2; its outage report (from the last
+  // crash/recovery cycle) is the observatory's view of the damage. Captured
+  // before Shutdown: shutdown is a clean stop, not a crash, and must not
+  // perturb the report.
+  *outage = w.msp2()->LastOutageReport();
   w.Shutdown();
   return r.throughput_rps;
 }
@@ -52,12 +57,31 @@ void Run() {
   double lo[4], pe[4];
   for (int i = 0; i < 4; ++i) {
     uint64_t clo = 0, cpe = 0;
+    obs::OutageReport olo, ope;
     lo[i] = MeasureThroughput(PaperConfig::kLoOptimistic,
-                              rates[i].crash_every, &clo);
+                              rates[i].crash_every, &clo, &olo);
     pe[i] = MeasureThroughput(PaperConfig::kPessimistic,
-                              rates[i].crash_every, &cpe);
+                              rates[i].crash_every, &cpe, &ope);
     table.AddRow({rates[i].label, bench::Fmt(lo[i], 1), bench::Fmt(pe[i], 1),
                   std::to_string(clo), std::to_string(cpe)});
+    struct Side {
+      const char* config;
+      double rps;
+      uint64_t crashes;
+      const obs::OutageReport* outage;
+    };
+    const Side sides[] = {{"LoOptimistic", lo[i], clo, &olo},
+                          {"Pessimistic", pe[i], cpe, &ope}};
+    for (const Side& s : sides) {
+      bench::Json j;
+      j.Add("config", s.config)
+          .Add("rate", rates[i].label)
+          .Add("crash_every", rates[i].crash_every)
+          .Add("throughput_rps", s.rps)
+          .Add("crashes", s.crashes)
+          .AddRaw("outage_report", s.outage->ToJson());
+      bench::EmitJson("fig15b_crash_rate", j);
+    }
   }
   table.Print();
 

@@ -5,8 +5,14 @@
 // directly: crash MSP1 after a fixed workload and report the analysis-scan
 // time, the time until every session finished replaying, the number of
 // requests replayed, and the log space reclaimed — per checkpoint
-// threshold.
+// threshold. The outage observatory rides along: each point also reports
+// the flight-recorder-joined outage report (per-session fate and MTTR).
+//
+// --quick: one point (64KB threshold, 150 requests, faster clock) for the
+// CTest perf-regression oracle (compare_bench.py against
+// bench/baselines/recovery_quick.json).
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "bench_util.h"
@@ -14,9 +20,6 @@
 
 namespace msplog {
 namespace {
-
-constexpr double kTimeScale = 0.05;
-constexpr int kRequests = 600;
 
 struct Point {
   double scan_ms = 0;
@@ -26,19 +29,20 @@ struct Point {
   uint64_t log_bytes = 0;
   uint64_t tracer_dropped = 0;
   obs::RecoveryTimeline timeline;
+  obs::OutageReport outage;
 };
 
-Point Measure(uint64_t threshold) {
+Point Measure(uint64_t threshold, int requests, double time_scale) {
   PaperWorkloadOptions opts;
   opts.config = PaperConfig::kLoOptimistic;
-  opts.time_scale = kTimeScale;
+  opts.time_scale = time_scale;
   opts.session_checkpoint_threshold_bytes = threshold;
   opts.msp_checkpoint_log_bytes = threshold ? threshold : 0;
   opts.checkpoint_daemon = threshold != 0;
   PaperWorkload w(opts);
   Point p;
   if (!w.Start().ok()) return p;
-  RunResult r = w.RunSingleClient(kRequests);
+  RunResult r = w.RunSingleClient(requests);
   (void)r;
 
   uint64_t recovered_before = w.env()->stats().sessions_recovered.load();
@@ -55,12 +59,44 @@ Point Measure(uint64_t threshold) {
   p.total_ms = w.env()->NowModelMs() - t0;
   p.timeline = w.msp1()->LastRecoveryTimeline();
   p.scan_ms = p.timeline.analysis_scan_ms;
+  p.outage = w.msp1()->LastOutageReport();
   p.replayed =
       w.env()->stats().requests_replayed.load() - replayed_before;
   p.reclaimed = w.env()->stats().disk_bytes_reclaimed.load();
   p.tracer_dropped = w.env()->tracer().dropped();
   w.Shutdown();
   return p;
+}
+
+void EmitPoint(const char* label, const Point& p) {
+  bench::Json j;
+  j.Add("threshold", label)
+      .Add("scan_ms", p.scan_ms)
+      .Add("total_ms", p.total_ms)
+      .Add("replayed", p.replayed)
+      .Add("reclaimed_bytes", p.reclaimed)
+      .Add("mttr_count", p.outage.mttr.count)
+      .Add("mttr_mean_ms", p.outage.mttr.mean_ms)
+      .Add("mttr_p50_ms", p.outage.mttr.p50_ms)
+      .Add("mttr_p99_ms", p.outage.mttr.p99_ms)
+      .Add("mttr_max_ms", p.outage.mttr.max_ms)
+      .AddRaw("outage_report", p.outage.ToJson())
+      .AddRaw("timeline", p.timeline.ToJson());
+  bench::AddTracerHealth(&j, p.tracer_dropped);
+  bench::EmitJson("recovery_time", j);
+}
+
+void RunQuick() {
+  bench::Header("bench_recovery_time --quick",
+                "recovery cost + outage MTTR, one point (64KB threshold, "
+                "150 requests) for the perf-regression oracle");
+  Point p = Measure(64ull << 10, /*requests=*/150, /*time_scale=*/0.02);
+  printf("  scan %.1f ms, total %.1f ms, %llu replayed, MTTR mean %.1f ms "
+         "(%llu session(s))\n",
+         p.scan_ms, p.total_ms, static_cast<unsigned long long>(p.replayed),
+         p.outage.mttr.mean_ms,
+         static_cast<unsigned long long>(p.outage.mttr.count));
+  EmitPoint("64KB", p);
 }
 
 void Run() {
@@ -79,26 +115,20 @@ void Run() {
 
   bench::Table table({"threshold", "scan(ms)", "records scanned",
                       "recovery total(ms)", "replay(ms)",
-                      "requests replayed", "log reclaimed(B)"});
+                      "requests replayed", "log reclaimed(B)", "MTTR(ms)"});
   Point results[4];
   for (int i = 0; i < 4; ++i) {
-    results[i] = Measure(rows[i].threshold);
+    results[i] = Measure(rows[i].threshold, /*requests=*/600,
+                         /*time_scale=*/0.05);
     const obs::RecoveryTimeline& tl = results[i].timeline;
     table.AddRow({rows[i].label, bench::Fmt(results[i].scan_ms, 1),
                   std::to_string(tl.analysis_records_scanned),
                   bench::Fmt(results[i].total_ms, 1),
                   bench::Fmt(tl.TotalReplayMs(), 1),
                   std::to_string(results[i].replayed),
-                  std::to_string(results[i].reclaimed)});
-    bench::Json j;
-    j.Add("threshold", rows[i].label)
-        .Add("scan_ms", results[i].scan_ms)
-        .Add("total_ms", results[i].total_ms)
-        .Add("replayed", results[i].replayed)
-        .Add("reclaimed_bytes", results[i].reclaimed)
-        .AddRaw("timeline", tl.ToJson());
-    bench::AddTracerHealth(&j, results[i].tracer_dropped);
-    bench::EmitJson("recovery_time", j);
+                  std::to_string(results[i].reclaimed),
+                  bench::Fmt(results[i].outage.mttr.mean_ms, 1)});
+    EmitPoint(rows[i].label, results[i]);
   }
   table.Print();
 
@@ -116,12 +146,28 @@ void Run() {
   // recovery end; with checkpoints nearly the whole log is freed.
   check("checkpointing enables log reclamation (orders of magnitude more)",
         results[3].reclaimed > 50 * (results[0].reclaimed + 1));
+  // The outage observatory must account for the crash at every threshold:
+  // the one client session was in flight, and replay made it servable.
+  bool outage_ok = true;
+  for (const Point& p : results) {
+    outage_ok &= p.outage.valid && p.outage.complete &&
+                 p.outage.mttr.count >= 1 && p.outage.mttr.mean_ms > 0;
+  }
+  check("outage report complete at every threshold (MTTR > 0)", outage_ok);
 }
 
 }  // namespace
 }  // namespace msplog
 
-int main() {
-  msplog::Run();
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  if (quick) {
+    msplog::RunQuick();
+  } else {
+    msplog::Run();
+  }
   return 0;
 }

@@ -10,7 +10,11 @@ Runs the binary, scrapes every line of the form
 and checks that each blob parses as JSON and carries the expected schema:
 a "bench" name, response-time quantiles (p50 <= p90 <= p99 <= max), and
 histogram breakdown objects with consistent count/quantile fields.
-Registered in CTest against `bench_fig14_response_time --quick`.
+Recovery-side benches (RECOVERY_BENCHES) are checked against the outage
+observatory schema instead: an outage_report with known per-session fates,
+non-negative time-to-servable, and monotonic MTTR quantiles.
+Registered in CTest against `bench_fig14_response_time --quick` and
+`bench_recovery_time --quick`.
 """
 import json
 import subprocess
@@ -19,6 +23,16 @@ import sys
 REQUIRED_TOP = ["bench", "requests", "avg_ms", "p50_ms", "p90_ms", "p99_ms"]
 REQUIRED_HIST = ["count", "mean", "p50", "p90", "p99", "min", "max"]
 HIST_KEYS = ["response", "queue_wait", "execute", "flush_wait"]
+
+# Recovery-side benches emit recovery metrics plus an outage_report section
+# instead of the response-time schema above.
+RECOVERY_BENCHES = {"recovery_time", "fig15b_crash_rate"}
+OUTAGE_FATES = {"replayed", "orphaned", "never-logged", "pending"}
+REQUIRED_OUTAGE = [
+    "valid", "complete", "generation", "epoch", "crash_model_ms",
+    "recovery_start_ms", "sessions", "mttr",
+]
+REQUIRED_MTTR = ["count", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"]
 
 # Benches that must also carry per-session telemetry and a p99 blame
 # breakdown (the observability sections, validated structurally below).
@@ -115,6 +129,43 @@ def check_blame(bench, b):
                  % (bench, share_sum, b))
 
 
+def check_outage_report(bench, rep):
+    if not isinstance(rep, dict):
+        fail("%s outage_report is not an object: %r" % (bench, rep))
+    for k in REQUIRED_OUTAGE:
+        if k not in rep:
+            fail("%s outage_report missing field %r (has %s)"
+                 % (bench, k, sorted(rep)))
+    for k in REQUIRED_MTTR:
+        if k not in rep["mttr"]:
+            fail("%s outage_report mttr missing %r" % (bench, k))
+    if not rep["valid"]:
+        # No joined crash (e.g. a zero-crash-rate point): the empty report
+        # must not pretend otherwise.
+        if rep["sessions"] or rep["mttr"]["count"] != 0:
+            fail("%s invalid outage_report carries data: %r" % (bench, rep))
+        return
+    for s in rep["sessions"]:
+        for k in ["session", "fate", "was_in_flight", "servable_at_ms",
+                  "time_to_servable_ms", "requests_replayed"]:
+            if k not in s:
+                fail("%s outage session missing %r: %r" % (bench, k, s))
+        if s["fate"] not in OUTAGE_FATES:
+            fail("%s unknown outage fate %r" % (bench, s["fate"]))
+        if s["fate"] != "pending" and s["time_to_servable_ms"] < 0:
+            fail("%s session %r negative time-to-servable: %r"
+                 % (bench, s["session"], s))
+    m = rep["mttr"]
+    if m["count"] > 0:
+        if not (0 <= m["p50_ms"] <= m["p90_ms"] <= m["p99_ms"] <= m["max_ms"]):
+            fail("%s outage MTTR quantiles not monotonic: %r" % (bench, m))
+    if rep["complete"]:
+        pending = [s for s in rep["sessions"] if s["fate"] == "pending"]
+        if pending:
+            fail("%s outage_report complete but has pending fates: %r"
+                 % (bench, pending))
+
+
 def main():
     if len(sys.argv) < 2:
         fail("usage: check_bench_json.py <bench-binary> [args...]")
@@ -143,6 +194,11 @@ def main():
              "Last stdout lines were:\n%s" % (" ".join(cmd), tail))
 
     for blob in blobs:
+        if blob.get("bench") in RECOVERY_BENCHES:
+            if "outage_report" not in blob:
+                fail("%s blob missing outage_report" % blob["bench"])
+            check_outage_report(blob["bench"], blob["outage_report"])
+            continue
         for k in REQUIRED_TOP:
             if k not in blob:
                 fail("blob missing field %r: %s" % (k, sorted(blob)))

@@ -25,10 +25,13 @@ Checks enforced over src/ (stdlib only, no third-party deps):
                        carry `audit:allow(blocking-under-lock)`.
   include-hygiene      no `#include "../..."` — project includes are rooted
                        at src/.
-  obs-layering         src/obs must not include sim/ or msp/ headers: the
-                       observability layer is dependency-free so every other
-                       layer (including sim/ itself) can use it without
-                       cycles.
+  obs-layering         src/obs must not include headers from any server
+                       layer (sim/, msp/, log/, rpc/, db/, baseline/,
+                       recovery/, harness/): the observability layer is
+                       dependency-free — flight recorder and friends take
+                       injected callbacks (clock, snapshot providers) — so
+                       every other layer (including sim/ itself) can use it
+                       without cycles.
   flush-send           kFlushRequest messages are built ONLY by the per-peer
                        flush aggregator (src/msp/flush_aggregator.cc), which
                        owns coalescing, resend dedup and the watermark. A
@@ -70,7 +73,8 @@ NAKED_DELETE = re.compile(r"(^|[^_\w.])delete(\[\])?\s+[A-Za-z_*(]")
 NONDET = re.compile(
     r"(^|[^_\w])(rand|srand)\s*\(|std::(random_device|mt19937)")
 PARENT_INCLUDE = re.compile(r'#\s*include\s*"\.\./')
-OBS_FORBIDDEN_INCLUDE = re.compile(r'#\s*include\s*"(sim|msp)/')
+OBS_FORBIDDEN_INCLUDE = re.compile(
+    r'#\s*include\s*"(sim|msp|log|rpc|db|baseline|recovery|harness)/')
 # Assignment (construction) of a kFlushRequest message; `==`/`!=`/`<=`/`>=`
 # comparisons and case labels don't match.
 FLUSH_SEND = re.compile(r"(?<![=!<>])=\s*MessageType::kFlushRequest")
@@ -190,7 +194,7 @@ def lint_file(path, findings):
                 OBS_FORBIDDEN_INCLUDE.search(raw_line):
             findings.append(
                 f"{rel}:{lineno}: [obs-layering] src/obs must not include "
-                "sim/ or msp/ headers (obs is dependency-free)")
+                "server-layer headers (obs is dependency-free)")
 
         if rel != "src/msp/flush_aggregator.cc" and FLUSH_SEND.search(line):
             findings.append(

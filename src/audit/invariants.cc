@@ -19,7 +19,16 @@ struct InvariantRegistry::Impl {
   uint64_t total = 0;
   std::vector<std::string> reports;
   bool fatal = false;
+  std::map<int, ViolationHook> hooks;  ///< wiring; survives ResetForTest
+  int next_hook_id = 1;
 };
+
+namespace {
+/// Violation() invoked from inside a violation hook must not re-enter the
+/// hooks (e.g. a statusz dump tripping a lock assert while the flight
+/// recorder freezes).
+thread_local bool tls_in_violation_hook = false;
+}  // namespace
 
 InvariantRegistry::Impl& InvariantRegistry::impl() const {
   static Impl* imp = new Impl;  // audit:allow(naked-new) — leaked: outlives statics
@@ -34,13 +43,43 @@ InvariantRegistry& InvariantRegistry::Instance() {
 void InvariantRegistry::Violation(const std::string& invariant,
                                   const std::string& detail) {
   Impl& im = impl();
+  bool fatal;
+  std::vector<ViolationHook> hooks;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    ++im.violation_counts[invariant];
+    ++im.total;
+    std::string msg = "invariant '" + invariant + "' violated: " + detail;
+    if (im.reports.size() < kMaxReports) im.reports.push_back(msg);
+    std::fprintf(stderr, "[msplog audit] %s\n", msg.c_str());
+    fatal = im.fatal;
+    if (!tls_in_violation_hook) {
+      hooks.reserve(im.hooks.size());
+      for (const auto& [_, h] : im.hooks) hooks.push_back(h);
+    }
+  }
+  // Hooks run unlocked (they may dump server state, taking server locks),
+  // and before a fatal abort so the black box still freezes.
+  if (!hooks.empty()) {
+    tls_in_violation_hook = true;
+    for (const auto& h : hooks) h(invariant, detail);
+    tls_in_violation_hook = false;
+  }
+  if (fatal) std::abort();
+}
+
+int InvariantRegistry::AddViolationHook(ViolationHook hook) {
+  Impl& im = impl();
   std::lock_guard<std::mutex> lk(im.mu);
-  ++im.violation_counts[invariant];
-  ++im.total;
-  std::string msg = "invariant '" + invariant + "' violated: " + detail;
-  if (im.reports.size() < kMaxReports) im.reports.push_back(msg);
-  std::fprintf(stderr, "[msplog audit] %s\n", msg.c_str());
-  if (im.fatal) std::abort();
+  int id = im.next_hook_id++;
+  im.hooks[id] = std::move(hook);
+  return id;
+}
+
+void InvariantRegistry::RemoveViolationHook(int id) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  im.hooks.erase(id);
 }
 
 void InvariantRegistry::Note(const std::string& invariant,

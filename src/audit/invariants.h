@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,19 @@ class InvariantRegistry {
   std::vector<std::string> reports() const;
   void set_fatal(bool v);
   void ResetForTest();
+
+  /// Observer of violations — the flight recorder's freeze trigger. Hooks
+  /// run AFTER the violation is recorded and the registry lock released
+  /// (they may take arbitrary locks and dump server state), and BEFORE a
+  /// fatal abort so the black box freezes even in fatal mode. A hook that
+  /// itself trips a violation does not recurse (per-thread guard). Returns
+  /// an id for RemoveViolationHook. Hooks survive ResetForTest — they are
+  /// wiring, not accumulated state.
+  using ViolationHook =
+      std::function<void(const std::string& invariant,
+                         const std::string& detail)>;
+  int AddViolationHook(ViolationHook hook);
+  void RemoveViolationHook(int id);
 
  private:
   InvariantRegistry() = default;

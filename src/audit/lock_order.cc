@@ -183,5 +183,17 @@ void LockOrderRegistry::ResetForTest() {
 
 size_t LockOrderRegistry::HeldByThisThread() const { return tls_held.size(); }
 
+std::vector<std::string> LockOrderRegistry::HeldNamesByThisThread() const {
+  std::vector<std::string> out;
+  if (tls_held.empty()) return out;
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  out.reserve(tls_held.size());
+  for (const HeldLock& h : tls_held) {
+    out.push_back(im.NameOf(h.id) + (h.shared ? " (shared)" : ""));
+  }
+  return out;
+}
+
 }  // namespace audit
 }  // namespace msplog

@@ -75,6 +75,9 @@ class LockOrderRegistry {
 
   /// Locks currently held by the calling thread (diagnostics/tests).
   size_t HeldByThisThread() const;
+  /// Names of the locks held by the calling thread, in acquisition order —
+  /// the held-lock summary a flight-recorder bundle carries.
+  std::vector<std::string> HeldNamesByThisThread() const;
 
  private:
   LockOrderRegistry() = default;

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
 #include <thread>
 
 #include "audit/invariants.h"
@@ -32,6 +33,13 @@ Msp::Msp(SimEnvironment* env, SimNetwork* network, SimDisk* disk,
   hist_request_ms_ = m.GetHistogram("msp.request_ms");
   hist_replay_ms_ = m.GetHistogram("msp.replay_ms");
   ctr_requests_ = m.GetCounter("msp.requests");
+  gauge_crash_generation_ = m.GetGauge(config_.id + ".crash_generation");
+
+  // Black-box registration: at any freeze (our crash, or any invariant
+  // violation) the environment's flight recorder captures this server's
+  // statusz, in-flight session set, and log tail extent.
+  env_->flight_recorder().SetSnapshotProvider(
+      config_.id, [this] { return BuildFlightSnapshot(); });
 
   FlushAggregator::Options fopt;
   fopt.self = config_.id;
@@ -45,6 +53,7 @@ Msp::Msp(SimEnvironment* env, SimNetwork* network, SimDisk* disk,
 
 Msp::~Msp() {
   if (state_.load() == State::kRunning) Shutdown();
+  env_->flight_recorder().ClearSnapshotProvider(config_.id);
 }
 
 void Msp::RegisterMethod(const std::string& name, ServiceMethod fn) {
@@ -166,17 +175,41 @@ Status Msp::Start() {
       pool_->Submit([this, sp] { SessionRecoveryTask(sp); });
     }
   }
+
+  const double now = env_->NowModelMs();
+  last_start_end_ms_.store(now, std::memory_order_relaxed);
+  // Mark the restart on the scraper's shared time axis; together with the
+  // crash mark this brackets the gap every per-MSP series shows.
+  env_->scraper().AnnotateEpoch(
+      now, config_.id + " up epoch=" + std::to_string(epoch_.load()) +
+               " gen=" + std::to_string(crash_generation_.load()));
   return Status::OK();
 }
 
 void Msp::Crash() {
   audit::LockGuard lifecycle(lifecycle_mu_);
-  CrashLocked();
+  CrashLocked(/*is_crash=*/true);
 }
 
-void Msp::CrashLocked() {
+void Msp::CrashLocked(bool is_crash) {
   State prev = state_.exchange(State::kCrashed);
   if (prev == State::kCrashed || prev == State::kStopped) return;
+
+  if (is_crash) {
+    // Black box first, while the log extents and session table still
+    // describe the moment of death. The bundle is generation-stamped so the
+    // recovery-side join can tell this fault from earlier ones.
+    const uint64_t gen = crash_generation_.fetch_add(1) + 1;
+    gauge_crash_generation_->Set(static_cast<int64_t>(gen));
+    env_->flight_recorder().Record(
+        obs::FlightEventType::kCrash, config_.id, "", 0,
+        "epoch=" + std::to_string(epoch_.load()) +
+            " gen=" + std::to_string(gen));
+    env_->flight_recorder().FreezeOnCrash(config_.id, gen);
+    env_->scraper().AnnotateEpoch(
+        env_->NowModelMs(),
+        config_.id + " crash gen=" + std::to_string(gen));
+  }
 
   network_->Unregister(config_.id);
   if (log_) log_->Crash();
@@ -240,7 +273,7 @@ void Msp::Shutdown() {
   // Start() recovers the complete state from the log.
   // audit:allow(blocking-under-lock): lifecycle transitions serialize here.
   if (log_) log_->FlushAll();
-  CrashLocked();
+  CrashLocked(/*is_crash=*/false);
   state_.store(State::kStopped);
 }
 
@@ -401,6 +434,8 @@ void Msp::SessionWorker(std::shared_ptr<Session> s) {
       hist_queue_wait_ms_->Record(t_start - enqueue_ms);
       env_->tracer().Record(obs::TraceEventType::kDequeue, t_start, config_.id,
                             s->id, m.seqno, m.method, span);
+      env_->flight_recorder().Record(obs::FlightEventType::kRequest,
+                                     config_.id, s->id, m.seqno, m.method);
       ProcessRequest(s, m, span);
       hist_request_ms_->Record(env_->NowModelMs() - t_start);
       ctr_requests_->Add(1);
@@ -629,6 +664,9 @@ uint64_t Msp::AppendSessionRecord(Session* s, LogRecord rec) {
   s->dv.Set(config_.id, StateId{epoch_.load(), lsn});
   s->bytes_logged_since_cp += framed;
   s->stats.OnLogAppend(framed);
+  env_->flight_recorder().Record(
+      obs::FlightEventType::kDvUpdate, config_.id, s->id, rec.seqno,
+      "lsn=" + std::to_string(lsn) + " epoch=" + std::to_string(epoch_.load()));
   return lsn;
 }
 
@@ -1024,6 +1062,11 @@ Status Msp::DistributedFlush(const DependencyVector& dv,
   Status st = DistributedFlushImpl(dv, fspan);
   double t1 = env_->NowModelMs();
   hist_flush_wait_ms_->Record(t1 - t0);
+  env_->flight_recorder().Record(
+      obs::FlightEventType::kFlushLeg, config_.id,
+      stats_session ? stats_session->id : "", 0,
+      "dv_entries=" + std::to_string(dv.entry_count()) +
+          (st.ok() ? "" : " " + st.ToString()));
   if (stats_session) {
     stats_session->stats.OnForcedFlush();
     stats_session->stats.OnFlushStall(t1 - t0);
@@ -1526,6 +1569,30 @@ void Msp::RegisterTelemetryProbes(obs::MetricsScraper* scraper) const {
   scraper->AddProbe(p + "telemetry.flush_stalls", [sum] {
     return sum([](const Session& s) { return s.stats.flush_stalls(); });
   });
+  scraper->AddProbe(p + "crash_generation", [this] {
+    return static_cast<double>(crash_generation_.load());
+  });
+  scraper->AddProbe(p + "uptime_ms", [this] {
+    double up = last_start_end_ms_.load(std::memory_order_relaxed);
+    if (up <= 0 || state_.load() != State::kRunning) return 0.0;
+    return env_->NowModelMs() - up;
+  });
+}
+
+obs::FlightSnapshot Msp::BuildFlightSnapshot() const {
+  obs::FlightSnapshot snap;
+  snap.statusz_json = DumpStatusz();
+  {
+    audit::LockGuard lk(sessions_mu_);
+    for (const auto& [id, s] : sessions_) {
+      if (!s->ended) snap.inflight_sessions.push_back(id);
+    }
+  }
+  if (log_) {
+    snap.log_end_lsn = log_->end_lsn();
+    snap.log_durable_lsn = log_->durable_lsn();
+  }
+  return snap;
 }
 
 std::string Msp::DumpStatusz() const {
@@ -1579,6 +1646,20 @@ std::string Msp::DumpStatusz() const {
     size_t n = recovery_history_.size() +
                (last_recovery_timeline_.epoch != 0 ? 1 : 0);
     out += "\"recoveries\":" + std::to_string(n) + ",";
+    out += "\"last_outage_report\":" + last_outage_report_.ToJson() + ",";
+  }
+  out += "\"crash_generation\":" + std::to_string(crash_generation_.load()) +
+         ",";
+  {
+    // "Uptime since last recovery": model ms since the last Start()
+    // finished; 0 while down or before the first start.
+    double up = last_start_end_ms_.load(std::memory_order_relaxed);
+    double uptime = (up > 0 && state_.load() == State::kRunning)
+                        ? env_->NowModelMs() - up
+                        : 0.0;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", uptime);
+    out += "\"uptime_since_recovery_ms\":" + std::string(buf) + ",";
   }
   out += "\"requests\":" + std::to_string(ctr_requests_->Value()) + ",";
 

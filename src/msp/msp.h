@@ -48,6 +48,8 @@
 #include "msp/session.h"
 #include "msp/shared_variable.h"
 #include "msp/thread_pool.h"
+#include "obs/flight_recorder.h"
+#include "obs/outage_report.h"
 #include "obs/recovery_timeline.h"
 #include "recovery/recovered_state_table.h"
 #include "rpc/message.h"
@@ -136,6 +138,18 @@ class Msp {
   std::vector<obs::RecoveryTimeline> RecentRecoveryTimelines(
       size_t max_n = 0) const;
 
+  /// Outage report of the most recent crash recovery: the recovery-side
+  /// join of the flight recorder's frozen pre-crash bundle with the replay
+  /// — per-session fate (replayed / orphaned / never-logged), per-session
+  /// time-to-servable, and MTTR percentiles. `valid` is false until a crash
+  /// bundle has been joined; `complete` once every fate is resolved.
+  obs::OutageReport LastOutageReport() const;
+
+  /// Crashes this Msp has suffered (Crash() calls; graceful Shutdown does
+  /// not count). Monotonic across restarts — generation stamps the flight
+  /// recorder bundles.
+  uint64_t crash_generation() const { return crash_generation_.load(); }
+
   /// Per-session provenance of the most recent recovery: which checkpoints
   /// rebuilt each session and which (epoch, seqno, LSN) log records its
   /// replay consumed. Lazy orphan recoveries update their session's entry.
@@ -174,8 +188,15 @@ class Msp {
   /// establishes happens-before with the owner thread's last writes).
   void QuiesceSession(Session* s) const;
 
-  /// Crash body; caller holds lifecycle_mu_.
-  void CrashLocked() REQUIRES(lifecycle_mu_);
+  /// Crash/stop body; caller holds lifecycle_mu_. `is_crash` distinguishes
+  /// a simulated fault (bumps the crash generation and freezes a flight
+  /// recorder bundle) from a graceful Shutdown teardown.
+  void CrashLocked(bool is_crash) REQUIRES(lifecycle_mu_);
+
+  /// Snapshot provider registered with the environment's flight recorder:
+  /// statusz + in-flight session set + log tail extent, captured at freeze
+  /// time (i.e. from inside CrashLocked or an invariant violation hook).
+  obs::FlightSnapshot BuildFlightSnapshot() const;
 
   // ---- threads ----
   void DispatchLoop();
@@ -376,6 +397,17 @@ class Msp {
   /// Concurrent RecoverSessionReplay calls right now / high-water mark.
   std::atomic<uint32_t> active_replays_{0};
 
+  /// Crashes suffered (not graceful shutdowns); stamps flight bundles.
+  std::atomic<uint64_t> crash_generation_{0};
+  /// Model time the most recent Start() finished (any mode) — the anchor of
+  /// "uptime since last recovery" in statusz and the scraper probe.
+  std::atomic<double> last_start_end_ms_{0.0};
+  /// The outage observatory's join state: the report for the most recent
+  /// joined crash bundle, and the generation already joined (so a graceful
+  /// restart does not re-join a stale bundle).
+  obs::OutageReport last_outage_report_ GUARDED_BY(timeline_mu_);
+  uint64_t outage_joined_generation_ GUARDED_BY(timeline_mu_) = 0;
+
   // Observability handles (owned by the environment's registry).
   obs::Histogram* hist_queue_wait_ms_;  ///< "msp.queue_wait_ms"
   obs::Histogram* hist_execute_ms_;     ///< "msp.execute_ms"
@@ -383,6 +415,7 @@ class Msp {
   obs::Histogram* hist_request_ms_;     ///< "msp.request_ms" (dequeue→done)
   obs::Histogram* hist_replay_ms_;      ///< "msp.replay_ms" per session replay
   obs::Counter* ctr_requests_;          ///< "msp.requests"
+  obs::Gauge* gauge_crash_generation_;  ///< "<id>.crash_generation"
 
   /// Created in Start() before workers exist; KvDb is internally locked.
   std::unique_ptr<KvDb> psession_db_;  // audit:allow(guarded-by)

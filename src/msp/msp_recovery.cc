@@ -45,6 +45,11 @@ std::vector<obs::RecoveryTimeline::SessionProvenance> Msp::RecoveryProvenance()
   return last_recovery_timeline_.provenance;
 }
 
+obs::OutageReport Msp::LastOutageReport() const {
+  audit::LockGuard lk(timeline_mu_);
+  return last_outage_report_;
+}
+
 Status Msp::CrashRecovery() {
   double t0 = env_->NowModelMs();
   env_->tracer().Record(obs::TraceEventType::kRecoveryStart, t0, config_.id);
@@ -235,6 +240,7 @@ Status Msp::CrashRecovery() {
 
   // Hand the reconstructed position streams to the sessions.
   uint64_t sessions_to_recover = 0;
+  std::vector<std::string> surviving_ids;
   {
     audit::LockGuard lk(sessions_mu_);
     for (auto& [id, s] : sessions_) {
@@ -243,8 +249,44 @@ Status Msp::CrashRecovery() {
         s->positions.ReplaceAll(std::move(it->second));
       }
       s->recovering = true;
+      surviving_ids.push_back(id);
     }
     sessions_to_recover = sessions_.size();
+  }
+
+  // Outage observatory join (flight recorder × analysis scan): the frozen
+  // pre-crash bundle names the sessions that were in flight at the crash;
+  // the scan just established which of them left any durable trace. A
+  // bundle session absent from the rebuilt table was never logged — its
+  // client sees a fresh session, servable once recovery completes. The
+  // rest start "pending" and are resolved by their replay.
+  {
+    obs::FlightBundle bundle =
+        env_->flight_recorder().LatestBundleFor(config_.id);
+    audit::LockGuard lk(timeline_mu_);
+    if (bundle.frozen && bundle.generation == crash_generation_.load() &&
+        bundle.generation > outage_joined_generation_) {
+      outage_joined_generation_ = bundle.generation;
+      last_outage_report_ = obs::OutageReport();
+      last_outage_report_.valid = true;
+      last_outage_report_.generation = bundle.generation;
+      last_outage_report_.epoch = epoch_.load();
+      last_outage_report_.crash_model_ms = bundle.frozen_at_ms;
+      last_outage_report_.recovery_start_ms = t0;
+      for (const auto& [who, snap] : bundle.snapshots) {
+        if (who != config_.id) continue;
+        for (const std::string& id : snap.inflight_sessions) {
+          obs::OutageReport::SessionFate f;
+          f.session_id = id;
+          f.was_in_flight = true;
+          if (std::find(surviving_ids.begin(), surviving_ids.end(), id) ==
+              surviving_ids.end()) {
+            f.fate = "never-logged";
+          }
+          last_outage_report_.sessions.push_back(std::move(f));
+        }
+      }
+    }
   }
 
   // Analysis phase (§4.3) ends here: the single-threaded scan is done and
@@ -296,7 +338,24 @@ Status Msp::CrashRecovery() {
   {
     audit::LockGuard lk(timeline_mu_);
     last_recovery_timeline_.post_scan_checkpoint_ms = end_ms - cp_t0;
+    // Never-logged sessions have no replay to resolve them: they become
+    // servable (as brand-new sessions) the moment recovery completes.
+    if (last_outage_report_.valid) {
+      for (auto& f : last_outage_report_.sessions) {
+        if (f.fate == "never-logged" && f.servable_at_ms == 0) {
+          f.servable_at_ms = end_ms;
+          f.time_to_servable_ms = end_ms - last_outage_report_.crash_model_ms;
+        }
+      }
+      last_outage_report_.Finalize();
+    }
   }
+  env_->flight_recorder().Record(
+      obs::FlightEventType::kRecovery, config_.id, /*session=*/"",
+      /*seqno=*/0,
+      "epoch=" + std::to_string(epoch_.load()) +
+          " sessions=" + std::to_string(sessions_to_recover) +
+          " scan_ms=" + std::to_string(scan_end_ms - t0));
   env_->tracer().Record(obs::TraceEventType::kRecoveryEnd, end_ms, config_.id,
                         /*session=*/"", /*seqno=*/0,
                         "sessions=" + std::to_string(sessions_to_recover));
@@ -325,6 +384,10 @@ Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
     }
   }
   uint64_t requests_replayed = 0;
+  // Delta over this replay distinguishes a clean "replayed" fate from an
+  // "orphaned" one in the outage report (the field is owner-thread only,
+  // and this thread owns the session for the duration of the replay).
+  const uint64_t orphan_cuts_before = s->orphan_cuts;
   obs::RecoveryTimeline::SessionProvenance prov;
   prov.session_id = s->id;
   Status st = Status::OK();
@@ -354,7 +417,8 @@ Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
                                    SnapshotRecoveredTable(), config_.id,
                                    epoch_.load(), s->dv);
   }
-  const double replay_ms = env_->NowModelMs() - replay_t0;
+  const double servable_now = env_->NowModelMs();
+  const double replay_ms = servable_now - replay_t0;
   hist_replay_ms_->Record(replay_ms);
   s->stats.OnReplayedRequests(requests_replayed);
   s->stats.SetDvEntries(s->dv.entry_count());
@@ -377,6 +441,23 @@ Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
       }
     }
     if (!replaced) last_recovery_timeline_.provenance.push_back(prov);
+    // Resolve this session's fate in the outage report: the replay just
+    // made it servable again. An EOS cut during this replay means its
+    // in-flight work was orphaned; otherwise it replayed cleanly.
+    if (from_crash && st.ok() && last_outage_report_.valid) {
+      if (obs::OutageReport::SessionFate* f =
+              last_outage_report_.Find(s->id)) {
+        if (f->fate == "pending") {
+          f->fate =
+              s->orphan_cuts > orphan_cuts_before ? "orphaned" : "replayed";
+          f->servable_at_ms = servable_now;
+          f->time_to_servable_ms =
+              servable_now - last_outage_report_.crash_model_ms;
+          f->requests_replayed = requests_replayed;
+          last_outage_report_.Finalize();
+        }
+      }
+    }
   }
   // The client may still be waiting for the reply of the last request —
   // resend it (duplicate replies are discarded by receivers).
@@ -508,6 +589,7 @@ void Msp::OrphanCut(Session* s, uint64_t orphan_lsn) {
   eos.prev_lsn = orphan_lsn;
   log_->Append(eos);
   s->positions.RemoveRange(orphan_lsn, UINT64_MAX);
+  ++s->orphan_cuts;
   env_->tracer().Record(obs::TraceEventType::kOrphanCut, env_->NowModelMs(),
                         config_.id, s->id, /*seqno=*/0,
                         "orphan_lsn=" + std::to_string(orphan_lsn));

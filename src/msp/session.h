@@ -106,6 +106,12 @@ class Session {
   /// and not part of the checkpointable state.
   uint64_t volatile_rpc_seqno = 1;
 
+  /// Orphan cuts (§4.1 EOS records) applied to this session since it was
+  /// (re)created. Mutated only by the thread currently replaying the
+  /// session; the outage join reads its own replay's delta to classify the
+  /// session's fate as "orphaned" vs cleanly "replayed".
+  uint64_t orphan_cuts = 0;
+
   // ---- telemetry (obs/session_stats.h) ----
   /// Relaxed-atomic counters; safe to Snap() from any thread. Volatile by
   /// design: a crash recreates the Session, so recovered sessions restart

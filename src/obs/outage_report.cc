@@ -1,0 +1,105 @@
+#include "obs/outage_report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"  // JsonEscape
+
+namespace msplog {
+namespace obs {
+
+namespace {
+
+std::string FmtMs(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+double NearestRank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+OutageReport::SessionFate* OutageReport::Find(const std::string& session_id) {
+  for (auto& s : sessions) {
+    if (s.session_id == session_id) return &s;
+  }
+  return nullptr;
+}
+
+const OutageReport::SessionFate* OutageReport::Find(
+    const std::string& session_id) const {
+  for (const auto& s : sessions) {
+    if (s.session_id == session_id) return &s;
+  }
+  return nullptr;
+}
+
+void OutageReport::Finalize() {
+  std::vector<double> ttrs;
+  ttrs.reserve(sessions.size());
+  bool pending = false;
+  double last = recovery_start_ms;
+  for (const auto& s : sessions) {
+    if (s.fate == "pending") {
+      pending = true;
+      continue;
+    }
+    ttrs.push_back(s.time_to_servable_ms);
+    last = std::max(last, s.servable_at_ms);
+  }
+  complete = valid && !pending;
+  if (!ttrs.empty()) recovery_end_ms = std::max(recovery_end_ms, last);
+  std::sort(ttrs.begin(), ttrs.end());
+  mttr = Mttr{};
+  mttr.count = ttrs.size();
+  if (ttrs.empty()) return;
+  double sum = 0;
+  for (double v : ttrs) sum += v;
+  mttr.mean_ms = sum / static_cast<double>(ttrs.size());
+  mttr.p50_ms = NearestRank(ttrs, 0.50);
+  mttr.p90_ms = NearestRank(ttrs, 0.90);
+  mttr.p99_ms = NearestRank(ttrs, 0.99);
+  mttr.max_ms = ttrs.back();
+}
+
+std::string OutageReport::ToJson() const {
+  std::string out = "{";
+  out += "\"valid\":" + std::string(valid ? "true" : "false") + ",";
+  out += "\"complete\":" + std::string(complete ? "true" : "false") + ",";
+  out += "\"generation\":" + std::to_string(generation) + ",";
+  out += "\"epoch\":" + std::to_string(epoch) + ",";
+  out += "\"crash_model_ms\":" + FmtMs(crash_model_ms) + ",";
+  out += "\"recovery_start_ms\":" + FmtMs(recovery_start_ms) + ",";
+  out += "\"recovery_end_ms\":" + FmtMs(recovery_end_ms) + ",";
+  out += "\"sessions\":[";
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    const SessionFate& s = sessions[i];
+    if (i) out += ",";
+    out += "{\"session\":\"" + JsonEscape(s.session_id) + "\",";
+    out += "\"fate\":\"" + JsonEscape(s.fate) + "\",";
+    out += "\"was_in_flight\":" +
+           std::string(s.was_in_flight ? "true" : "false") + ",";
+    out += "\"servable_at_ms\":" + FmtMs(s.servable_at_ms) + ",";
+    out += "\"time_to_servable_ms\":" + FmtMs(s.time_to_servable_ms) + ",";
+    out += "\"requests_replayed\":" + std::to_string(s.requests_replayed);
+    out += "}";
+  }
+  out += "],";
+  out += "\"mttr\":{\"count\":" + std::to_string(mttr.count) +
+         ",\"mean_ms\":" + FmtMs(mttr.mean_ms) +
+         ",\"p50_ms\":" + FmtMs(mttr.p50_ms) +
+         ",\"p90_ms\":" + FmtMs(mttr.p90_ms) +
+         ",\"p99_ms\":" + FmtMs(mttr.p99_ms) +
+         ",\"max_ms\":" + FmtMs(mttr.max_ms) + "}";
+  out += "}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace msplog

@@ -1,0 +1,74 @@
+// OutageReport — the product of the outage observatory's recovery-side join.
+//
+// When an Msp restarts after a crash, msp/msp_recovery.cc correlates the
+// flight recorder's frozen pre-crash bundle (obs/flight_recorder.h) with the
+// analysis scan and per-session replays to answer, per session that was in
+// flight at the fault:
+//
+//   fate "replayed"      the session had durable log records and replay
+//                        reconstructed it cleanly;
+//   fate "orphaned"      replay had to cut an orphan suffix (EOS written,
+//                        positions truncated — §4.1) before the session was
+//                        servable again;
+//   fate "never-logged"  the bundle says the session was in flight but the
+//                        durable log holds no trace of it: its work is lost
+//                        and only duplicate detection will save the client;
+//   fate "pending"       the join has seeded the entry but the session's
+//                        replay has not finished yet (complete == false).
+//
+// time_to_servable is the per-session MTTR the REDO-only instant-restart
+// literature argues for: model ms from the freeze (the fault) until that
+// session could process a request again. The report aggregates them into
+// MTTR percentiles. Like every obs type this is plain data with a JSON
+// dump; the schema is validated by scripts/check_bench_json.py and
+// documented in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msplog {
+namespace obs {
+
+struct OutageReport {
+  struct SessionFate {
+    std::string session_id;
+    std::string fate = "pending";
+    bool was_in_flight = true;     ///< false: surfaced by the scan only
+    double servable_at_ms = 0;     ///< model time the session became servable
+    double time_to_servable_ms = 0;  ///< servable_at - crash freeze
+    uint64_t requests_replayed = 0;
+  };
+
+  struct Mttr {
+    uint64_t count = 0;  ///< resolved sessions aggregated below
+    double mean_ms = 0;
+    double p50_ms = 0;
+    double p90_ms = 0;
+    double p99_ms = 0;
+    double max_ms = 0;
+  };
+
+  bool valid = false;     ///< false = no crash bundle was joined yet
+  bool complete = false;  ///< every fate resolved (none "pending")
+  uint64_t generation = 0;  ///< crash generation of the joined bundle
+  uint32_t epoch = 0;       ///< recovery epoch that performed the join
+  double crash_model_ms = 0;     ///< bundle freeze time
+  double recovery_start_ms = 0;  ///< analysis scan start
+  double recovery_end_ms = 0;    ///< last fate resolution
+  std::vector<SessionFate> sessions;
+  Mttr mttr;
+
+  SessionFate* Find(const std::string& session_id);
+  const SessionFate* Find(const std::string& session_id) const;
+
+  /// Recompute mttr / complete / recovery_end from the fates. Percentiles
+  /// are nearest-rank over the resolved sessions' time_to_servable.
+  void Finalize();
+
+  std::string ToJson() const;
+};
+
+}  // namespace obs
+}  // namespace msplog

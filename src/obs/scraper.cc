@@ -93,6 +93,17 @@ void MetricsScraper::AddProbe(const std::string& name,
   AddProbeLocked(name, "gauge", std::move(read));
 }
 
+void MetricsScraper::AnnotateEpoch(double t_ms, const std::string& label) {
+  audit::LockGuard lk(mu_);
+  epoch_marks_.push_back(EpochMark{t_ms, label});
+  while (epoch_marks_.size() > kMaxEpochMarks) epoch_marks_.pop_front();
+}
+
+std::vector<MetricsScraper::EpochMark> MetricsScraper::EpochMarks() const {
+  audit::LockGuard lk(mu_);
+  return std::vector<EpochMark>(epoch_marks_.begin(), epoch_marks_.end());
+}
+
 void MetricsScraper::Start() {
   audit::LockGuard lifecycle(lifecycle_mu_);
   {
@@ -203,6 +214,11 @@ std::string FmtValue(double v) {
 std::string MetricsScraper::DumpPrometheus() const {
   audit::LockGuard lk(mu_);
   std::string out;
+  // Crash/recovery epoch marks ride along as comments: Prometheus ignores
+  // them, humans reading the exposition see why a series went flat.
+  for (const auto& m : epoch_marks_) {
+    out += "# EPOCH " + FmtValue(m.t_ms) + "ms " + m.label + "\n";
+  }
   for (const auto& p : probes_) {
     if (p->ring.total_pushed() == 0) continue;
     std::string name = PromName(options_.prefix, p->name);
@@ -217,12 +233,18 @@ std::string MetricsScraper::DumpJson() const {
   char head[128];
   std::snprintf(head, sizeof(head),
                 "{\"period_ms\":%.3f,\"ring_capacity\":%zu,"
-                "\"samples_taken\":%llu,\"series\":{",
+                "\"samples_taken\":%llu,\"epoch_marks\":[",
                 options_.period_ms, options_.ring_capacity,
                 static_cast<unsigned long long>(
                     samples_.load(std::memory_order_relaxed)));
   std::string out = head;
   bool first = true;
+  for (size_t i = 0; i < epoch_marks_.size(); ++i) {
+    if (i) out += ",";
+    out += "{\"t_ms\":" + FmtValue(epoch_marks_[i].t_ms) + ",\"label\":\"" +
+           JsonEscape(epoch_marks_[i].label) + "\"}";
+  }
+  out += "],\"series\":{";
   for (const auto& p : probes_) {
     if (!first) out += ",";
     first = false;

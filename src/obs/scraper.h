@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -112,6 +113,24 @@ class MetricsScraper {
   /// the scraper thread and must not allocate or block on I/O.
   void AddProbe(const std::string& name, std::function<double()> read);
 
+  // --- epoch marks --------------------------------------------------------
+
+  /// One labelled instant on the shared time axis — a crash or a completed
+  /// recovery. Marks make ring gaps attributable: a flat-lining series next
+  /// to a "msp2 crash gen=3" mark is a dead server, not a scraper bug.
+  struct EpochMark {
+    double t_ms = 0;
+    std::string label;
+  };
+
+  /// Record a mark (bounded: oldest evicted past kMaxEpochMarks). Safe from
+  /// any thread, any time.
+  void AnnotateEpoch(double t_ms, const std::string& label);
+  /// Retained marks, oldest first.
+  std::vector<EpochMark> EpochMarks() const;
+
+  static constexpr size_t kMaxEpochMarks = 64;
+
   // --- lifecycle ----------------------------------------------------------
 
   /// Idempotent: starting a running scraper is a no-op.
@@ -168,6 +187,7 @@ class MetricsScraper {
   mutable audit::Mutex mu_{"obs.scraper"};
   audit::CondVar cv_;
   std::vector<std::unique_ptr<Probe>> probes_ GUARDED_BY(mu_);
+  std::deque<EpochMark> epoch_marks_ GUARDED_BY(mu_);
   bool running_ GUARDED_BY(mu_) = false;
   bool stop_ GUARDED_BY(mu_) = false;
   std::thread thread_;

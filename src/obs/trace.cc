@@ -142,10 +142,15 @@ void EventTracer::Clear() {
   }
 }
 
-std::string EventTracer::DumpJson() const {
+std::string EventTracer::DumpJson(size_t max_events) const {
+  std::vector<TraceEvent> events = Events();
+  if (max_events > 0 && events.size() > max_events) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<ptrdiff_t>(max_events));
+  }
   std::string out = "[";
   bool first = true;
-  for (const TraceEvent& e : Events()) {
+  for (const TraceEvent& e : events) {
     if (!first) out += ",";
     first = false;
     char buf[128];

@@ -119,7 +119,10 @@ class EventTracer {
 
   void Clear();
 
-  std::string DumpJson() const;
+  /// JSON array of retained events. `max_events` > 0 keeps only that many
+  /// of the NEWEST events — the tail a flight-recorder bundle embeds; 0
+  /// dumps everything.
+  std::string DumpJson(size_t max_events = 0) const;
   std::string DumpChromeTracing() const;
 
  private:

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/scraper.h"
 #include "obs/trace.h"
@@ -96,6 +97,7 @@ struct SimStats {
 class SimEnvironment {
  public:
   explicit SimEnvironment(double time_scale = 0.0);
+  ~SimEnvironment();
 
   double time_scale() const { return time_scale_; }
 
@@ -140,6 +142,15 @@ class SimEnvironment {
   obs::EventTracer& tracer() { return tracer_; }
   const obs::EventTracer& tracer() const { return tracer_; }
 
+  /// Crash black box (bounded event ring + frozen snapshot bundles). Owned
+  /// here — like the scraper — so the pre-crash ring and bundles survive
+  /// Msp crash/recovery; frozen automatically on any audit invariant
+  /// violation via a registry hook installed at construction.
+  obs::FlightRecorder& flight_recorder() { return flight_recorder_; }
+  const obs::FlightRecorder& flight_recorder() const {
+    return flight_recorder_;
+  }
+
   /// Background time-series sampler over this environment's registry.
   /// Owned here rather than by any server so its rings survive MSP
   /// crash/restart cycles; idle (not started) by default.
@@ -152,7 +163,9 @@ class SimEnvironment {
   SimStats stats_;
   obs::MetricsRegistry metrics_;
   obs::EventTracer tracer_;
+  obs::FlightRecorder flight_recorder_;  ///< after tracer_: dumps its tail
   obs::MetricsScraper scraper_;  ///< last member: stops before peers die
+  int violation_hook_id_ = 0;
 };
 
 }  // namespace msplog

@@ -1,0 +1,425 @@
+// Flight recorder + outage observatory tests: the black-box ring itself,
+// the freeze triggers (simulated crash, invariant violation), the
+// recovery-side outage join (per-session fates and MTTR vs ground truth
+// under a chaos workload), the offline post-mortem cross-check, and the
+// bounded crash-generation / recovery-timeline history across many cycles.
+//
+// The chaos test exports its frozen bundle, live outage report, and raw log
+// image (msplog_outage_*.{json,bin}) so CI can drive the msplog_postmortem
+// CLI over real artifacts.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "audit/invariants.h"
+#include "harness/paper_workload.h"
+#include "msp/postmortem.h"
+#include "obs/flight_recorder.h"
+
+namespace msplog {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FlightRecorder unit tests (no server involved).
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, RingWrapsAndCountsDrops) {
+  double now = 1.0;
+  obs::FlightRecorder::Options opt;
+  opt.ring_capacity = 4;
+  obs::FlightRecorder fr([&now] { return now; }, opt);
+  for (int i = 0; i < 10; ++i) {
+    now = 1.0 + i;
+    fr.Record(obs::FlightEventType::kNote, "a", "s", i, "e" + std::to_string(i));
+  }
+  EXPECT_EQ(fr.recorded_total(), 10u);
+  EXPECT_EQ(fr.dropped(), 6u);
+  std::vector<obs::FlightEvent> ring = fr.RingEvents();
+  ASSERT_EQ(ring.size(), 4u);
+  // Oldest-first, and exactly the newest four survive.
+  for (size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring[i].seq, 6 + i);
+    EXPECT_EQ(ring[i].detail, "e" + std::to_string(6 + i));
+  }
+}
+
+TEST(FlightRecorderTest, FreezeOnCrashSnapshotsTheCrashedActorOnly) {
+  double now = 5.0;
+  obs::FlightRecorder fr([&now] { return now; });
+  fr.SetSnapshotProvider("m1", [] {
+    obs::FlightSnapshot s;
+    s.statusz_json = "{\"who\":\"m1\"}";
+    s.inflight_sessions = {"sA", "sB"};
+    s.log_end_lsn = 100;
+    s.log_durable_lsn = 80;
+    return s;
+  });
+  fr.SetSnapshotProvider("m2", [] { return obs::FlightSnapshot(); });
+  fr.set_tracer_tail_dump([] { return std::string("[{\"t\":1}]"); });
+  fr.Record(obs::FlightEventType::kRequest, "m1", "sA", 7, "method");
+
+  obs::FlightBundle b = fr.FreezeOnCrash("m1", 3, "test crash");
+  EXPECT_TRUE(b.frozen);
+  EXPECT_EQ(b.generation, 3u);
+  EXPECT_EQ(b.actor, "m1");
+  EXPECT_EQ(b.trigger, "crash");
+  EXPECT_EQ(b.frozen_at_ms, 5.0);
+  ASSERT_EQ(b.snapshots.size(), 1u);  // only the crashed actor
+  EXPECT_EQ(b.snapshots[0].first, "m1");
+  EXPECT_EQ(b.snapshots[0].second.inflight_sessions.size(), 2u);
+  EXPECT_EQ(b.snapshots[0].second.log_durable_lsn, 80u);
+  ASSERT_EQ(b.events.size(), 1u);
+  EXPECT_EQ(b.events[0].session, "sA");
+  EXPECT_EQ(fr.frozen_count(), 1u);
+  // The same bundle is retrievable by actor.
+  obs::FlightBundle again = fr.LatestBundleFor("m1");
+  EXPECT_TRUE(again.frozen);
+  EXPECT_EQ(again.generation, 3u);
+  EXPECT_FALSE(fr.LatestBundleFor("nobody").frozen);
+
+  std::string json = b.ToJson();
+  EXPECT_NE(json.find("\"trigger\":\"crash\""), std::string::npos);
+  EXPECT_NE(json.find("\"statusz\":{\"who\":\"m1\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"tracer_tail\":[{\"t\":1}]"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, BundleHistoryIsBounded) {
+  double now = 0;
+  obs::FlightRecorder::Options opt;
+  opt.max_bundles = 2;
+  obs::FlightRecorder fr([&now] { return now; }, opt);
+  for (uint64_t g = 1; g <= 5; ++g) {
+    now = static_cast<double>(g);
+    fr.FreezeOnCrash("m", g);
+  }
+  std::vector<obs::FlightBundle> bundles = fr.Bundles();
+  ASSERT_EQ(bundles.size(), 2u);
+  EXPECT_EQ(bundles[0].generation, 4u);
+  EXPECT_EQ(bundles[1].generation, 5u);
+  EXPECT_EQ(fr.frozen_count(), 5u);
+  EXPECT_EQ(fr.LatestBundleFor("m").generation, 5u);
+}
+
+TEST(FlightRecorderTest, ViolationFreezeSnapshotsAllProviders) {
+  double now = 2.0;
+  obs::FlightRecorder fr([&now] { return now; });
+  fr.SetSnapshotProvider("m1", [] { return obs::FlightSnapshot(); });
+  fr.SetSnapshotProvider("m2", [] { return obs::FlightSnapshot(); });
+  fr.FreezeOnViolation("dv-monotonic", "went backwards");
+  std::vector<obs::FlightBundle> bundles = fr.Bundles();
+  ASSERT_EQ(bundles.size(), 1u);
+  EXPECT_EQ(bundles[0].trigger, "invariant:dv-monotonic");
+  EXPECT_EQ(bundles[0].snapshots.size(), 2u);
+  // The triggering invariant is also the newest ring event.
+  ASSERT_FALSE(bundles[0].events.empty());
+  EXPECT_EQ(bundles[0].events.back().type, obs::FlightEventType::kInvariant);
+  // DumpJson carries both the live ring and the frozen bundle.
+  std::string json = fr.DumpJson();
+  EXPECT_NE(json.find("\"bundles\":[{"), std::string::npos);
+  EXPECT_NE(json.find("invariant:dv-monotonic"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Server integration.
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderIntegrationTest, InvariantViolationFreezesServerState) {
+  PaperWorkloadOptions opts;
+  opts.config = PaperConfig::kLoOptimistic;
+  opts.time_scale = 0.0;
+  PaperWorkload w(opts);
+  ASSERT_TRUE(w.Start().ok());
+  auto client = w.MakeClient("client1");
+  auto session = client->StartSession("msp1");
+  Bytes reply;
+  ASSERT_TRUE(
+      client->Call(&session, "ServiceMethod1", MakePayload(100, 1), &reply)
+          .ok());
+
+  const uint64_t frozen_before = w.env()->flight_recorder().frozen_count();
+  // Fire a (non-fatal) violation directly: the registry hook wired by
+  // SimEnvironment must freeze a bundle snapshotting every registered MSP.
+  audit::InvariantRegistry::Instance().Violation("test-invariant",
+                                                 "injected by test");
+  EXPECT_EQ(w.env()->flight_recorder().frozen_count(), frozen_before + 1);
+  std::vector<obs::FlightBundle> bundles =
+      w.env()->flight_recorder().Bundles();
+  ASSERT_FALSE(bundles.empty());
+  const obs::FlightBundle& b = bundles.back();
+  EXPECT_EQ(b.trigger, "invariant:test-invariant");
+  ASSERT_EQ(b.snapshots.size(), 2u);  // msp1 and msp2
+  for (const auto& [who, snap] : b.snapshots) {
+    EXPECT_TRUE(who == "msp1" || who == "msp2");
+    EXPECT_NE(snap.statusz_json.find("\"id\":\"" + who + "\""),
+              std::string::npos);
+  }
+  audit::InvariantRegistry::Instance().ResetForTest();
+  w.Shutdown();
+}
+
+TEST(FlightRecorderIntegrationTest, StatuszAndScraperCarryCrashEpochs) {
+  PaperWorkloadOptions opts;
+  opts.config = PaperConfig::kLoOptimistic;
+  opts.time_scale = 0.0;
+  PaperWorkload w(opts);
+  ASSERT_TRUE(w.Start().ok());
+  auto client = w.MakeClient("client1");
+  auto session = client->StartSession("msp1");
+  Bytes reply;
+  ASSERT_TRUE(
+      client->Call(&session, "ServiceMethod1", MakePayload(100, 1), &reply)
+          .ok());
+
+  std::string statusz0 = w.msp1()->DumpStatusz();
+  EXPECT_NE(statusz0.find("\"crash_generation\":0"), std::string::npos);
+  EXPECT_NE(statusz0.find("\"uptime_since_recovery_ms\":"), std::string::npos);
+
+  w.msp1()->Crash();
+  ASSERT_TRUE(w.msp1()->Start().ok());
+  EXPECT_EQ(w.msp1()->crash_generation(), 1u);
+  std::string statusz1 = w.msp1()->DumpStatusz();
+  EXPECT_NE(statusz1.find("\"crash_generation\":1"), std::string::npos);
+  EXPECT_NE(statusz1.find("\"last_outage_report\":{"), std::string::npos);
+
+  // Crash + recovery annotate the metrics timeline; the scraper exposes
+  // the marks in both expositions.
+  std::vector<obs::MetricsScraper::EpochMark> marks =
+      w.env()->scraper().EpochMarks();
+  ASSERT_GE(marks.size(), 2u);
+  bool saw_crash = false, saw_up = false;
+  for (const auto& m : marks) {
+    if (m.label.find("msp1 crash gen=1") != std::string::npos) saw_crash = true;
+    if (m.label.find("msp1 up") != std::string::npos) saw_up = true;
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_up);
+  EXPECT_NE(w.env()->scraper().DumpPrometheus().find("# EPOCH"),
+            std::string::npos);
+  EXPECT_NE(w.env()->scraper().DumpJson().find("\"epoch_marks\":["),
+            std::string::npos);
+  w.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Outage observatory: chaos crash mid-workload, fates vs ground truth,
+// offline post-mortem cross-check, artifact export for CI.
+// ---------------------------------------------------------------------------
+
+TEST(OutageObservatoryTest, ChaosCrashFatesAndMttrMatchGroundTruth) {
+  PaperWorkloadOptions opts;
+  opts.config = PaperConfig::kLoOptimistic;
+  opts.time_scale = 0.0;
+  opts.client_max_sends = 5000;
+  PaperWorkload w(opts);
+  ASSERT_TRUE(w.Start().ok());
+
+  // 30 requests, MSP2 killed mid-request every 10 (§5.4 injection).
+  RunResult r = w.RunSingleClient(30, /*crash_every=*/10);
+  ASSERT_EQ(r.requests, 30u);
+  ASSERT_GE(w.crashes_injected(), 1u);
+
+  const obs::FlightBundle bundle =
+      w.env()->flight_recorder().LatestBundleFor("msp2");
+  ASSERT_TRUE(bundle.frozen);
+  EXPECT_EQ(bundle.generation, w.crashes_injected());
+  ASSERT_EQ(bundle.snapshots.size(), 1u);
+  const obs::FlightSnapshot& snap = bundle.snapshots[0].second;
+  // MSP2 served MSP1's one outgoing session; it was in flight at the crash.
+  ASSERT_FALSE(snap.inflight_sessions.empty());
+
+  const obs::OutageReport report = w.msp2()->LastOutageReport();
+  ASSERT_TRUE(report.valid);
+  EXPECT_EQ(report.generation, bundle.generation);
+  EXPECT_EQ(report.crash_model_ms, bundle.frozen_at_ms);
+  // Ground truth: every in-flight session is accounted for with a terminal
+  // fate — nothing left pending.
+  EXPECT_TRUE(report.complete);
+  ASSERT_EQ(report.sessions.size(), snap.inflight_sessions.size());
+  for (const auto& f : report.sessions) {
+    EXPECT_TRUE(f.fate == "replayed" || f.fate == "orphaned" ||
+                f.fate == "never-logged")
+        << f.session_id << " has fate " << f.fate;
+    EXPECT_TRUE(f.was_in_flight);
+    EXPECT_GT(f.servable_at_ms, report.crash_model_ms);
+  }
+  // The crashes happened after nine completed requests whose client replies
+  // forced distributed flushes covering MSP2 — the session has a durable
+  // trace, so the mid-workload crash must classify it as replayed.
+  const obs::OutageReport::SessionFate* f =
+      report.Find(snap.inflight_sessions[0]);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->fate, "replayed");
+  EXPECT_GT(f->requests_replayed, 0u);
+  // MTTR: positive, and bounded by the whole run's model time.
+  ASSERT_EQ(report.mttr.count, report.sessions.size());
+  EXPECT_GT(report.mttr.mean_ms, 0.0);
+  EXPECT_LE(report.mttr.p50_ms, report.mttr.p99_ms);
+  EXPECT_LT(report.mttr.max_ms, r.elapsed_model_ms);
+
+  // Offline cross-check: re-derive the fates from the raw log image alone
+  // (same inputs the msplog_postmortem CLI gets) and compare.
+  LogFile* log = w.msp2()->log();
+  ASSERT_NE(log, nullptr);
+  PostmortemInput input;
+  input.actor = bundle.actor;
+  input.generation = bundle.generation;
+  input.crash_model_ms = bundle.frozen_at_ms;
+  input.durable_at_crash = snap.log_durable_lsn;
+  input.inflight_sessions = snap.inflight_sessions;
+  PostmortemReport offline;
+  ASSERT_TRUE(DerivePostmortem(log->disk(), log->file_name(), input, &offline)
+                  .ok());
+  ASSERT_EQ(offline.sessions.size(), report.sessions.size());
+  for (const auto& live : report.sessions) {
+    const PostmortemSessionFate* mine = offline.Find(live.session_id);
+    ASSERT_NE(mine, nullptr) << live.session_id;
+    EXPECT_EQ(mine->fate, live.fate) << live.session_id;
+  }
+
+  // Export the artifacts for the CI post-mortem step (CLI cross-check).
+  {
+    std::ofstream bf("msplog_outage_bundle.json", std::ios::binary);
+    bf << bundle.ToJson() << "\n";
+    std::ofstream rf("msplog_outage_report.json", std::ios::binary);
+    rf << report.ToJson() << "\n";
+    uint64_t size = log->disk()->FileSize(log->file_name());
+    Bytes image;
+    ASSERT_TRUE(log->disk()->ReadAt(log->file_name(), 0, size, &image).ok());
+    std::ofstream lf("msplog_outage_log_image.bin", std::ios::binary);
+    lf.write(image.data(), static_cast<std::streamsize>(image.size()));
+  }
+  w.Shutdown();
+}
+
+TEST(OutageObservatoryTest, CrashOnFirstRequestLeavesSessionNeverLogged) {
+  PaperWorkloadOptions opts;
+  opts.config = PaperConfig::kLoOptimistic;
+  // Real sleeps between network hops: the armed crash (spawned when the
+  // ServiceMethod2 reply reaches MSP1) must land before MSP1's client-reply
+  // distributed flush reaches MSP2 — at time scale 0 that is a thread race,
+  // with model latencies enforced the flush request cannot arrive earlier
+  // than msp_one_way_ms of real sleep after the crash thread was spawned.
+  opts.time_scale = 0.25;
+  opts.checkpoint_daemon = false;
+  opts.client_max_sends = 5000;
+  PaperWorkload w(opts);
+  ASSERT_TRUE(w.Start().ok());
+
+  // Arm before ANY request: MSP2 dies while serving its first-ever request,
+  // before MSP1's client-reply flush could make MSP2's records durable — so
+  // the crash erases the session from the log entirely.
+  w.ArmCrash();
+  ClientOptions copts;
+  copts.max_sends = 5000;
+  copts.resend_timeout_ms = 50;
+  copts.busy_backoff_ms = 10;
+  ClientEndpoint client(w.env(), w.network(), "client1", copts);
+  w.network()->SetLinkLatency("client1", "msp1", 0.0);
+  auto session = client.StartSession("msp1");
+  Bytes reply;
+  ASSERT_TRUE(
+      client.Call(&session, "ServiceMethod1", MakePayload(100, 1), &reply)
+          .ok());
+  ASSERT_EQ(w.crashes_injected(), 1u);
+  // The crash/restart cycle runs on a harness thread; the reply above can
+  // only have been produced after MSP2's recovery joined the report, but
+  // give the join a moment in case the reply raced the restart's tail.
+  for (int i = 0; i < 2000 && !w.msp2()->LastOutageReport().valid; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const obs::FlightBundle bundle =
+      w.env()->flight_recorder().LatestBundleFor("msp2");
+  ASSERT_TRUE(bundle.frozen);
+  const obs::FlightSnapshot& snap = bundle.snapshots[0].second;
+  ASSERT_EQ(snap.inflight_sessions.size(), 1u);
+
+  const obs::OutageReport report = w.msp2()->LastOutageReport();
+  ASSERT_TRUE(report.valid);
+  EXPECT_TRUE(report.complete);
+  ASSERT_EQ(report.sessions.size(), 1u);
+  EXPECT_EQ(report.sessions[0].fate, "never-logged");
+  EXPECT_EQ(report.sessions[0].requests_replayed, 0u);
+  EXPECT_GT(report.sessions[0].time_to_servable_ms, 0.0);
+  EXPECT_EQ(report.mttr.count, 1u);
+
+  // The offline derivation agrees: no durable trace below the crash point.
+  LogFile* log = w.msp2()->log();
+  PostmortemInput input;
+  input.actor = bundle.actor;
+  input.durable_at_crash = snap.log_durable_lsn;
+  input.inflight_sessions = snap.inflight_sessions;
+  PostmortemReport offline;
+  ASSERT_TRUE(DerivePostmortem(log->disk(), log->file_name(), input, &offline)
+                  .ok());
+  ASSERT_EQ(offline.sessions.size(), 1u);
+  EXPECT_EQ(offline.sessions[0].fate, "never-logged");
+  w.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Bounded recovery-timeline history across many crash/recovery cycles.
+// ---------------------------------------------------------------------------
+
+TEST(OutageObservatoryTest, TimelineHistoryBoundedAcrossManyCycles) {
+  PaperWorkloadOptions opts;
+  opts.config = PaperConfig::kLoOptimistic;
+  opts.time_scale = 0.0;
+  opts.client_max_sends = 5000;
+  PaperWorkload w(opts);
+  ASSERT_TRUE(w.Start().ok());
+  auto client = w.MakeClient("client1");
+  auto session = client->StartSession("msp1");
+
+  constexpr int kCycles = 10;  // > the 8-deep history
+  for (int i = 1; i <= kCycles; ++i) {
+    Bytes reply;
+    ASSERT_TRUE(client
+                    ->Call(&session, "ServiceMethod1", MakePayload(100, i),
+                           &reply)
+                    .ok())
+        << "request " << i;
+    const uint64_t recovered_before =
+        w.env()->stats().sessions_recovered.load();
+    w.msp1()->Crash();
+    ASSERT_TRUE(w.msp1()->Start().ok());
+    // Session replays run in the thread pool after Start() returns; wait
+    // for this cycle's replay so its provenance lands in THIS timeline
+    // before the next crash rotates it into history.
+    while (w.env()->stats().sessions_recovered.load() <= recovered_before) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(w.msp1()->crash_generation(), static_cast<uint64_t>(kCycles));
+
+  // Initial boot was epoch 1; each cycle bumped it. History keeps the last
+  // 8 plus the current timeline, evicting oldest-first.
+  std::vector<obs::RecoveryTimeline> timelines =
+      w.msp1()->RecentRecoveryTimelines(0);
+  ASSERT_EQ(timelines.size(), 9u);
+  const uint32_t newest = timelines.back().epoch;
+  EXPECT_EQ(newest, static_cast<uint32_t>(kCycles + 1));
+  for (size_t i = 0; i < timelines.size(); ++i) {
+    EXPECT_EQ(timelines[i].epoch, newest - (timelines.size() - 1 - i))
+        << "eviction must drop oldest-first";
+  }
+  // Provenance survives rotation: every post-crash recovery replayed the
+  // client session and recorded where its state came from.
+  for (const obs::RecoveryTimeline& tl : timelines) {
+    ASSERT_FALSE(tl.provenance.empty()) << "epoch " << tl.epoch;
+    EXPECT_EQ(tl.provenance[0].session_id, session.session_id);
+    EXPECT_EQ(tl.sessions_to_recover, 1u);
+  }
+  // A request still works after the storm.
+  Bytes reply;
+  ASSERT_TRUE(client
+                  ->Call(&session, "ServiceMethod1", MakePayload(100, 99),
+                         &reply)
+                  .ok());
+  w.Shutdown();
+}
+
+}  // namespace
+}  // namespace msplog

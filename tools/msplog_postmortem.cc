@@ -1,0 +1,384 @@
+// msplog_postmortem — offline outage post-mortem correlator.
+//
+// Loads a flight-recorder bundle (the JSON a test or the server dumped at
+// crash time) plus the raw log image of the crashed MSP, re-derives every
+// in-flight session's fate (replayed / orphaned / never-logged) from the
+// log alone, and — when given the live outage report too — cross-checks
+// the live recovery join against the log-derived ground truth.
+//
+// Usage:
+//   msplog_postmortem --bundle BUNDLE.json --log IMAGE [--report REPORT.json]
+//                     [--json]
+//
+//   --bundle   frozen FlightBundle JSON (FlightBundle::ToJson output)
+//   --log      raw bytes of the crashed MSP's physical log file
+//   --report   live obs::OutageReport JSON; fates are cross-checked and a
+//              mismatch exits 1 (CI gate)
+//   --json     print the derived report as JSON instead of text
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "msp/postmortem.h"
+#include "sim/sim_disk.h"
+#include "sim/sim_env.h"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough to lift a handful of fields out of the
+// bundle / report dumps this repo itself emits. Not a general validator.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  const JsonValue* Get(const std::string& key) const {
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+  double NumberOr(double dflt) const {
+    return kind == Kind::kNumber ? num : dflt;
+  }
+  const std::string& StringOr(const std::string& dflt) const {
+    return kind == Kind::kString ? str : dflt;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': out->kind = JsonValue::Kind::kString;
+                return ParseString(&out->str);
+      case 't': out->kind = JsonValue::Kind::kBool; out->b = true;
+                return Literal("true");
+      case 'f': out->kind = JsonValue::Kind::kBool; out->b = false;
+                return Literal("false");
+      case 'n': out->kind = JsonValue::Kind::kNull;
+                return Literal("null");
+      default:  return ParseNumber(out);
+    }
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Eat('"')) return false;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          // The repo's own dumps only \u-escape control bytes; decode the
+          // low byte and drop the high one.
+          if (pos_ + 4 > s_.size()) return false;
+          unsigned code = std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          out->push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Eat('{')) return false;
+    SkipWs();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Eat(':')) return false;
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->obj.emplace(std::move(key), std::move(v));
+      SkipWs();
+      if (Eat(',')) continue;
+      return Eat('}');
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Eat('[')) return false;
+    SkipWs();
+    if (Eat(']')) return true;
+    while (true) {
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->arr.push_back(std::move(v));
+      SkipWs();
+      if (Eat(',')) continue;
+      return Eat(']');
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --bundle BUNDLE.json --log IMAGE "
+               "[--report REPORT.json] [--json]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bundle_path, log_path, report_path;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](std::string* dst) -> bool {
+      if (i + 1 >= argc) return false;
+      *dst = argv[++i];
+      return true;
+    };
+    if (std::strcmp(argv[i], "--bundle") == 0) {
+      if (!next(&bundle_path)) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--log") == 0) {
+      if (!next(&log_path)) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      if (!next(&report_path)) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (bundle_path.empty() || log_path.empty()) return Usage(argv[0]);
+
+  std::string bundle_text;
+  if (!ReadFile(bundle_path, &bundle_text)) {
+    std::fprintf(stderr, "msplog_postmortem: cannot open %s\n",
+                 bundle_path.c_str());
+    return 2;
+  }
+  JsonValue bundle;
+  if (!JsonParser(bundle_text).Parse(&bundle) ||
+      bundle.kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "msplog_postmortem: %s is not valid JSON\n",
+                 bundle_path.c_str());
+    return 2;
+  }
+  const JsonValue* frozen = bundle.Get("frozen");
+  if (!frozen || frozen->kind != JsonValue::Kind::kBool || !frozen->b) {
+    std::fprintf(stderr, "msplog_postmortem: bundle is not frozen\n");
+    return 2;
+  }
+
+  msplog::PostmortemInput input;
+  if (const JsonValue* v = bundle.Get("actor")) input.actor = v->StringOr("");
+  if (const JsonValue* v = bundle.Get("generation")) {
+    input.generation = static_cast<uint64_t>(v->NumberOr(0));
+  }
+  if (const JsonValue* v = bundle.Get("frozen_at_ms")) {
+    input.crash_model_ms = v->NumberOr(0);
+  }
+  const JsonValue* snapshots = bundle.Get("snapshots");
+  bool found_snapshot = false;
+  if (snapshots && snapshots->kind == JsonValue::Kind::kArray) {
+    for (const JsonValue& snap : snapshots->arr) {
+      const JsonValue* who = snap.Get("actor");
+      if (!who || who->StringOr("") != input.actor) continue;
+      found_snapshot = true;
+      if (const JsonValue* d = snap.Get("log_durable_lsn")) {
+        input.durable_at_crash = static_cast<uint64_t>(d->NumberOr(0));
+      }
+      if (const JsonValue* fl = snap.Get("inflight_sessions")) {
+        for (const JsonValue& id : fl->arr) {
+          input.inflight_sessions.push_back(id.StringOr(""));
+        }
+      }
+      break;
+    }
+  }
+  if (!found_snapshot) {
+    std::fprintf(stderr,
+                 "msplog_postmortem: bundle has no snapshot for actor %s\n",
+                 input.actor.c_str());
+    return 2;
+  }
+
+  std::string image;
+  if (!ReadFile(log_path, &image)) {
+    std::fprintf(stderr, "msplog_postmortem: cannot open %s\n",
+                 log_path.c_str());
+    return 2;
+  }
+
+  // Offline: time scale 0 and no latency charging — contents only.
+  msplog::SimEnvironment env(/*time_scale=*/0.0);
+  msplog::SimDisk disk(&env, "postmortem");
+  disk.set_charge_latency(false);
+  const std::string file = "image.log";
+  msplog::Status wst = disk.WriteAt(file, 0, image);
+  if (!wst.ok()) {
+    std::fprintf(stderr, "msplog_postmortem: load failed: %s\n",
+                 wst.ToString().c_str());
+    return 2;
+  }
+
+  msplog::PostmortemReport derived;
+  msplog::Status st = msplog::DerivePostmortem(&disk, file, input, &derived);
+  if (!st.ok()) {
+    std::fprintf(stderr, "msplog_postmortem: %s\n", st.ToString().c_str());
+    return 2;
+  }
+
+  if (json) {
+    std::printf("%s\n", derived.ToJson().c_str());
+  } else {
+    std::fputs(derived.Summary().c_str(), stdout);
+  }
+
+  if (report_path.empty()) return 0;
+
+  // Cross-check: the live recovery join must agree with the log.
+  std::string report_text;
+  if (!ReadFile(report_path, &report_text)) {
+    std::fprintf(stderr, "msplog_postmortem: cannot open %s\n",
+                 report_path.c_str());
+    return 2;
+  }
+  JsonValue live;
+  if (!JsonParser(report_text).Parse(&live) ||
+      live.kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "msplog_postmortem: %s is not valid JSON\n",
+                 report_path.c_str());
+    return 2;
+  }
+  const JsonValue* live_sessions = live.Get("sessions");
+  if (!live_sessions || live_sessions->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "msplog_postmortem: report has no sessions array\n");
+    return 2;
+  }
+  int mismatches = 0;
+  size_t compared = 0;
+  for (const JsonValue& s : live_sessions->arr) {
+    const JsonValue* id = s.Get("session");
+    const JsonValue* fate = s.Get("fate");
+    if (!id || !fate) continue;
+    const msplog::PostmortemSessionFate* mine =
+        derived.Find(id->StringOr(""));
+    if (!mine) {
+      std::fprintf(stderr,
+                   "MISMATCH session %s: in live report but not in bundle's "
+                   "in-flight set\n",
+                   id->StringOr("").c_str());
+      ++mismatches;
+      continue;
+    }
+    ++compared;
+    if (fate->StringOr("") != mine->fate) {
+      std::fprintf(stderr, "MISMATCH session %s: live=%s log-derived=%s\n",
+                   id->StringOr("").c_str(), fate->StringOr("").c_str(),
+                   mine->fate.c_str());
+      ++mismatches;
+    }
+  }
+  if (compared != derived.sessions.size()) {
+    std::fprintf(stderr,
+                 "MISMATCH: live report covers %zu of %zu in-flight "
+                 "sessions\n",
+                 compared, derived.sessions.size());
+    ++mismatches;
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "cross-check FAILED: %d mismatch(es)\n", mismatches);
+    return 1;
+  }
+  std::printf("cross-check OK: %zu session fate(s) agree with the log\n",
+              compared);
+  return 0;
+}
