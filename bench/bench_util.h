@@ -137,10 +137,31 @@ inline void AddTracerHealth(Json* j, uint64_t dropped) {
   }
 }
 
-/// Print the canonical machine-readable line for bench `name`.
+/// True when this binary is instrumented by TSan/ASan: model time is
+/// wall-clock derived, and instrumentation slows everything ~10-20x, so
+/// timing metrics from such a build are not comparable to native baselines.
+/// Mirrors SimEnvironment::kFastWaitFloorMs's detection.
+inline constexpr bool UnderSanitizer() {
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+/// Print the canonical machine-readable line for bench `name`. Every blob
+/// carries `sanitized` so the compare_bench oracle can skip its wall-time
+/// tolerance bands on instrumented builds (exact counters still compare).
 inline void EmitJson(const std::string& name, const Json& body) {
   Json wrapped;
   wrapped.Add("bench", name);
+  wrapped.Add("sanitized", UnderSanitizer());
   std::string inner = body.Str();
   // splice: {"bench":"..."} + body fields
   std::string head = wrapped.Str();

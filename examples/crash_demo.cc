@@ -103,8 +103,8 @@ int main() {
          "callee's DV (optimistic intra-domain message, §3.1).\n");
 
   printf("\n== checkpoints bound the recovery scan (§3.4) ==\n");
-  alpha.ForceSessionCheckpoint(session.session_id);
-  alpha.ForceMspCheckpoint();
+  alpha.ForceCheckpoint(msplog::CheckpointTarget::Session(session.session_id));
+  alpha.ForceCheckpoint(msplog::CheckpointTarget::Msp());
   LogAnchor anchor(&disk_a, "alpha.anchor");
   AnchorData ad;
   anchor.Read(&ad);
@@ -116,7 +116,8 @@ int main() {
   printf("alpha crashed. restarting...\n");
   if (!alpha.Start().ok()) return 1;
   printf("alpha recovered: epoch %u, analysis scan %.2f model ms, "
-         "balance=%s\n", alpha.epoch(), alpha.last_recovery_scan_ms(),
+         "balance=%s\n", alpha.epoch(),
+         alpha.LastRecoveryTimeline().analysis_scan_ms,
          alpha.PeekSharedValue("balance")->c_str());
   client.Call(&session, "transfer", "50", &reply);
   printf("transfer after recovery -> %s\n", reply.c_str());

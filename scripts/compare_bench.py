@@ -51,7 +51,11 @@ Metric spec fields:
 Tolerances are wide by necessity: model time is wall-clock derived and this
 runs on shared CI machines. The oracle is meant to catch step-function
 regressions (an extra flush per request, a lost coalescing opportunity), not
-single-digit percent drift.
+single-digit percent drift. A blob carrying "sanitized": true (emitted by
+TSan/ASan-instrumented benches, ~10-20x slower) skips its tolerance-band
+metrics entirely; exact counters still compare, unless their spec sets
+"sanitized_skip": true (for counts that resend quantization perturbs on an
+instrumented build, e.g. flush legs).
 """
 import argparse
 import json
@@ -124,14 +128,28 @@ def compare(baseline, blobs, report_lines):
             failures.append("no baseline row for %s" % dict(k))
             continue
         matched.add(k)
+        # Model time is wall-clock derived; TSan/ASan instrumentation slows
+        # it ~10-20x, so a blob from a sanitized build opts its tolerance-
+        # band (timing) metrics out of comparison. Exact counters — request
+        # counts, on-demand replays, session totals — still compare hard.
+        sanitized = bool(blob.get("sanitized"))
         row_failures = []
+        skipped = 0
         for name, spec in row["metrics"].items():
             if name not in blob:
                 row_failures.append("%s: missing from bench output" % name)
                 continue
+            if sanitized and (not spec.get("exact")
+                              or spec.get("sanitized_skip")):
+                skipped += 1
+                continue
             check_metric(name, spec, blob[name], row_failures)
         status = "FAIL" if row_failures else "ok"
         report_lines.append("%-4s %s" % (status, dict(k)))
+        if skipped:
+            report_lines.append(
+                "      (sanitized build: skipped %d tolerance-band "
+                "metric(s); exact counters still checked)" % skipped)
         for name, spec in sorted(row["metrics"].items()):
             if name in blob:
                 report_lines.append("      %-24s %10.6g  (baseline %.6g)"
@@ -209,6 +227,20 @@ def self_test():
     if compare(baseline, improved, lines):
         sys.exit("compare_bench: self-test FAILED: improvement rejected:\n"
                  + "\n".join(lines))
+    # A sanitized (TSan/ASan) blob: wildly inflated wall-time metrics are
+    # skipped, but a wrong exact counter must still fail.
+    lines = []
+    sanitized_ok = [{"bench": "fake", "config": "X", "sanitized": True,
+                     "avg_ms": 150.0, "msgs": 4, "stable": 9.0}]
+    if compare(baseline, sanitized_ok, lines):
+        sys.exit("compare_bench: self-test FAILED: sanitized blob's timing "
+                 "metrics were not skipped:\n" + "\n".join(lines))
+    lines = []
+    sanitized_bad = [{"bench": "fake", "config": "X", "sanitized": True,
+                      "avg_ms": 150.0, "msgs": 5, "stable": 9.0}]
+    if len(compare(baseline, sanitized_bad, lines)) != 1:
+        sys.exit("compare_bench: self-test FAILED: sanitized blob's exact "
+                 "counter mismatch not rejected:\n" + "\n".join(lines))
     print("compare_bench: self-test OK")
 
 

@@ -321,6 +321,72 @@ uint64_t LogFile::reclaimed_lsn() const {
   return reclaimed_end_;
 }
 
+uint64_t LogFile::ArchiveUpTo(uint64_t lsn) {
+  audit::UniqueLock lk(mu_);
+  uint64_t target = std::min(lsn, durable_end_);
+  target = target / sector_bytes_ * sector_bytes_;  // sector floor
+  if (target <= reclaimed_end_) return 0;
+  uint64_t base = reclaimed_end_;
+  reclaimed_end_ = target;
+  // Claiming the range above makes it ours exclusively: concurrent archive /
+  // reclaim calls see the advanced watermark and back off, appends only ever
+  // touch the tail, so the copy below races with nothing.
+  archived_end_ = target;
+  lk.unlock();
+  Bytes segment;
+  Status st = disk_->ReadAt(file_name_, base, target - base, &segment);
+  if (st.ok()) {
+    st = disk_->WriteAt(ArchiveSegmentName(file_name_, base), 0, segment);
+  }
+  if (!st.ok()) {
+    // Copy-out failed: keep the live bytes (skip the punch) so no data is
+    // lost; the range stays claimed and simply is not preserved.
+    audit::LockGuard relk(mu_);
+    archived_end_ = std::min(archived_end_, base);
+    return 0;
+  }
+  disk_->PunchHole(file_name_, base, target - base);
+  return target - base;
+}
+
+LogExtents LogFile::Extents() const {
+  audit::LockGuard lk(mu_);
+  LogExtents x;
+  x.end_lsn = buffer_base_ + buffer_.size();
+  x.durable_lsn = durable_end_;
+  x.reclaimed_lsn = reclaimed_end_;
+  x.archived_lsn = archived_end_;
+  return x;
+}
+
+std::string LogFile::ArchiveSegmentName(const std::string& log_file,
+                                        uint64_t base) {
+  return log_file + ".arc." + std::to_string(base);
+}
+
+std::vector<LogArchiveSegment> LogFile::ListArchiveSegments(
+    SimDisk* disk, const std::string& log_file) {
+  std::vector<LogArchiveSegment> out;
+  const std::string prefix = log_file + ".arc.";
+  for (const std::string& f : disk->ListFiles()) {
+    if (f.size() <= prefix.size() || f.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string suffix = f.substr(prefix.size());
+    if (suffix.find_first_not_of("0123456789") != std::string::npos) continue;
+    LogArchiveSegment seg;
+    seg.base = std::stoull(suffix);
+    seg.bytes = disk->FileSize(f);
+    seg.file = f;
+    out.push_back(std::move(seg));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LogArchiveSegment& a, const LogArchiveSegment& b) {
+              return a.base < b.base;
+            });
+  return out;
+}
+
 void LogFile::Crash() {
   audit::LockGuard lk(mu_);
   crashed_ = true;

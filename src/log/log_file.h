@@ -21,6 +21,7 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "audit/mutex.h"
 #include "common/bytes.h"
@@ -42,6 +43,26 @@ struct LogFileOptions {
   /// MSP to charge CPU time for issuing an I/O, which is what makes batch
   /// flushing reduce CPU load as well as disk load (§5.5).
   std::function<void()> on_physical_write;
+};
+
+/// One consistent snapshot of the log's extent watermarks, taken under a
+/// single lock hold. Prefer this over calling `end_lsn()` / `durable_lsn()` /
+/// `reclaimed_lsn()` back to back — three separate lock acquisitions can
+/// interleave with a flush or reclamation and report e.g. a durable extent
+/// ahead of the tail it was read with.
+struct LogExtents {
+  uint64_t end_lsn = 0;        ///< offset of the next append
+  uint64_t durable_lsn = 0;    ///< first offset NOT yet durable
+  uint64_t reclaimed_lsn = 0;  ///< first offset not reclaimed (punched)
+  uint64_t archived_lsn = 0;   ///< reclaimed prefix preserved in archives
+};
+
+/// One closed archive segment: `[base, base + bytes)` of the original log,
+/// preserved verbatim in `file` when the live range was punched.
+struct LogArchiveSegment {
+  uint64_t base = 0;
+  uint64_t bytes = 0;
+  std::string file;
 };
 
 class LogFile {
@@ -86,6 +107,26 @@ class LogFile {
   /// First LSN that has not been reclaimed.
   uint64_t reclaimed_lsn() const;
 
+  /// Segment archiving (checkpoint-watermark-driven): like ReclaimUpTo, but
+  /// the released range is first copied verbatim into an archive segment
+  /// file (`<log>.arc.<base>`) before the live bytes are punched. The live
+  /// log behaves exactly as after ReclaimUpTo (the range reads back as
+  /// padding); offline tools can overlay the archive segments to reconstruct
+  /// the full historical image. Returns the number of bytes archived.
+  uint64_t ArchiveUpTo(uint64_t lsn);
+
+  /// One consistent snapshot of all extent watermarks (single lock hold).
+  LogExtents Extents() const;
+
+  /// Archive segment file name for a range starting at `base`.
+  static std::string ArchiveSegmentName(const std::string& log_file,
+                                        uint64_t base);
+
+  /// Enumerate `log_file`'s archive segments on `disk`, sorted by base
+  /// offset. Usable offline (no LogFile instance required).
+  static std::vector<LogArchiveSegment> ListArchiveSegments(
+      SimDisk* disk, const std::string& log_file);
+
   /// Simulate the crash of the owning MSP: the volatile buffer is discarded
   /// and all flush waiters fail with Status::Crashed. The durable prefix on
   /// disk is untouched.
@@ -126,8 +167,11 @@ class LogFile {
   Bytes pending_ GUARDED_BY(mu_);
   uint64_t pending_base_ GUARDED_BY(mu_) = 0;
   uint64_t durable_end_ GUARDED_BY(mu_);  ///< sector-aligned durable extent
-  /// Prefix released by ReclaimUpTo.
+  /// Prefix released by ReclaimUpTo / ArchiveUpTo.
   uint64_t reclaimed_end_ GUARDED_BY(mu_) = 0;
+  /// Prefix preserved in archive segments before punching (<= reclaimed_end_;
+  /// lags it when plain ReclaimUpTo calls interleave with archiving).
+  uint64_t archived_end_ GUARDED_BY(mu_) = 0;
   bool flush_in_progress_ GUARDED_BY(mu_) = false;
   bool flush_requested_ GUARDED_BY(mu_) = false;
   bool crashed_ GUARDED_BY(mu_) = false;

@@ -42,6 +42,14 @@ std::string LogInspectReport::Summary() const {
   out += "  session checkpoints: " + std::to_string(session_checkpoints);
   out += "  shared-var checkpoints: " + std::to_string(shared_var_checkpoints);
   out += "  msp checkpoints: " + std::to_string(msp_checkpoints) + "\n";
+  if (archive_segments > 0) {
+    out += "archive segments overlaid: " + std::to_string(archive_segments) +
+           "\n";
+  }
+  if (newest_msp_checkpoint_min_lsn > 0) {
+    out += "newest msp checkpoint min-recovery lsn: " +
+           Lsn(newest_msp_checkpoint_min_lsn) + "\n";
+  }
   if (torn_tail) {
     out += "torn tail at lsn " + Lsn(torn_tail_lsn) +
            " (normal after a crash)\n";
@@ -86,6 +94,9 @@ std::string LogInspectReport::ToJson() const {
   out += ",\"shared_var_checkpoints\":" +
          std::to_string(shared_var_checkpoints);
   out += ",\"msp_checkpoints\":" + std::to_string(msp_checkpoints);
+  out += ",\"newest_msp_checkpoint_min_lsn\":" +
+         Lsn(newest_msp_checkpoint_min_lsn);
+  out += ",\"archive_segments\":" + std::to_string(archive_segments);
   out += ",\"torn_tail\":" + std::string(torn_tail ? "true" : "false");
   out += ",\"torn_tail_lsn\":" + Lsn(torn_tail_lsn);
   out += ",\"invariant_violations\":[";
@@ -233,6 +244,10 @@ Status InspectLogImage(SimDisk* disk, const std::string& file,
                 "msp checkpoint at " + Lsn(rec.lsn) +
                 " implies scan start " + Lsn(min_lsn) + " beyond itself");
           }
+          // Records arrive in LSN order, so the last decodable MSP
+          // checkpoint seen is the newest — the one the anchor points at
+          // and the one whose min-recovery LSN bounds reclamation.
+          report->newest_msp_checkpoint_min_lsn = min_lsn;
           if (opts.dump_checkpoints && dump_text) {
             *dump_text += "  msp checkpoint sessions=" +
                           std::to_string(data.sessions.size()) +
@@ -258,6 +273,20 @@ Status InspectLogImage(SimDisk* disk, const std::string& file,
       *dump_text += " payload=" + std::to_string(rec.payload.size()) +
                     "B crc=ok\n";
     }
+  }
+
+  // No live session cut: checkpoint-driven reclamation (hole punch or
+  // archiving) discards strictly below the newest MSP checkpoint's
+  // min-recovery LSN, and the record *at* that LSN is one recovery still
+  // reads — so the first record surviving in the image must sit at or
+  // before it. A first record beyond it means bytes a live session's
+  // replay needed were punched or mis-archived.
+  if (report->records > 0 && report->newest_msp_checkpoint_min_lsn > 0 &&
+      report->first_lsn > report->newest_msp_checkpoint_min_lsn) {
+    report->invariant_violations.push_back(
+        "live prefix cut: first surviving record at " +
+        Lsn(report->first_lsn) + " but newest msp checkpoint needs scan from " +
+        Lsn(report->newest_msp_checkpoint_min_lsn));
   }
 
   // Per-session request seqnos never decrease in log order — except records

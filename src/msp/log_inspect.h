@@ -38,7 +38,11 @@ struct LogInspectOptions {
 ///   * kEos points at or before itself;
 ///   * session checkpoint blobs decode;
 ///   * MSP checkpoint blobs decode and imply a scan start at or before
-///     themselves.
+///     themselves;
+///   * the first surviving record sits at or before the newest MSP
+///     checkpoint's min-recovery LSN — reclamation (hole punch) and
+///     archiving both stop strictly below that position, so a first record
+///     *beyond* it means a live session's replay prefix was cut.
 struct LogInspectReport {
   uint64_t records = 0;
   uint64_t first_lsn = 0;
@@ -49,6 +53,13 @@ struct LogInspectReport {
   uint64_t session_checkpoints = 0;
   uint64_t shared_var_checkpoints = 0;
   uint64_t msp_checkpoints = 0;
+  /// Min-recovery LSN of the newest (last-in-scan-order) decodable MSP
+  /// checkpoint; 0 when the image has none. The "no live session cut"
+  /// invariant compares first_lsn against this.
+  uint64_t newest_msp_checkpoint_min_lsn = 0;
+  /// Archive segments overlaid into the image before the walk (set by the
+  /// caller — InspectLogImage itself only sees the merged byte image).
+  uint64_t archive_segments = 0;
   /// The scan hit a corrupt frame (CRC mismatch / truncated frame) and
   /// stopped there. A torn tail is normal after a crash, so it is reported
   /// separately rather than as a violation.

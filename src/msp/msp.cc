@@ -9,6 +9,7 @@
 
 #include "audit/invariants.h"
 #include "msp/exec_context.h"
+#include "msp/recovery_coordinator.h"
 
 namespace msplog {
 
@@ -139,19 +140,15 @@ Status Msp::Start() {
     MSPLOG_RETURN_IF_ERROR(psession_db_->Recover());
   }
 
-  std::vector<std::shared_ptr<Session>> to_recover;
   if (config_.mode == RecoveryMode::kLogBased) {
     // Crash recovery runs on EVERY start — a restarted process cannot tell
     // whether its previous incarnation crashed before flushing anything, and
     // reusing an epoch after such a crash would let lost state numbers be
     // reissued. A genuinely fresh boot just bumps to epoch 1 with an empty
-    // scan, which is harmless.
+    // scan, which is harmless. Only the bounded analysis pass and the open
+    // preparation run here (phased coordinator); no session is replayed yet.
     state_.store(State::kRecovering);
     MSPLOG_RETURN_IF_ERROR(CrashRecovery());
-    audit::LockGuard lk(sessions_mu_);
-    for (auto& [id, s] : sessions_) {
-      if (s->recovering) to_recover.push_back(s);
-    }
   }
 
   mailbox_ = network_->Register(config_.id);
@@ -161,19 +158,13 @@ Status Msp::Start() {
     checkpoint_thread_ = std::thread([this] { CheckpointDaemonLoop(); });
   }
 
-  // §4.3: sessions recover in parallel while new sessions are accepted.
-  // (sequential_recovery replays them one at a time — the ablation that
-  // quantifies the parallel-recovery contribution.)
-  if (config_.sequential_recovery) {
-    auto all = to_recover;
-    pool_->Submit([this, all] {
-      for (auto& sp : all) SessionRecoveryTask(sp);
-    });
-  } else {
-    for (auto& s : to_recover) {
-      auto sp = s;
-      pool_->Submit([this, sp] { SessionRecoveryTask(sp); });
-    }
+  // Instant restart (§4.3 + on-demand REDO): the server is open as of the
+  // state transition above. Surviving sessions replay in background
+  // priority order; a request for a not-yet-replayed session jumps the
+  // queue through the HandleRequestMsg admission gate. sequential_recovery
+  // (the ablation) drains one session at a time inside the coordinator.
+  if (config_.mode == RecoveryMode::kLogBased) {
+    recovery_coordinator_->BeginBackgroundDrain();
   }
 
   const double now = env_->NowModelMs();
@@ -327,7 +318,7 @@ void Msp::HandleRequestMsg(Message m) {
   }
   std::shared_ptr<Session> s;
   bool arm = false;
-  bool busy = false;
+  bool on_demand = false;
   bool ended = false;
   {
     audit::LockGuard lk(sessions_mu_);
@@ -341,8 +332,6 @@ void Msp::HandleRequestMsg(Message m) {
     }
     if (s->ended) {
       ended = true;  // reply outside the table lock
-    } else if (s->recovering) {
-      busy = true;  // §5.4: client sleeps 100 ms and resends
     } else {
       double now_ms = env_->NowModelMs();
       // Allocate this request's server-side span, parented on the span the
@@ -356,7 +345,15 @@ void Msp::HandleRequestMsg(Message m) {
       env_->tracer().Record(obs::TraceEventType::kEnqueue, now_ms, config_.id,
                             m.session_id, m.seqno, m.method, span);
       s->pending_requests.push_back({std::move(m), now_ms, span});
-      if (!s->worker_active) {
+      if (s->recovering) {
+        // Admission gate (instant restart): the request is queued and a
+        // replay of JUST this session is triggered on demand — it jumps the
+        // background drain's priority order. The replay epilogue arms the
+        // worker, so the queued request serializes after the session's
+        // replayed history. If a replay already owns the session
+        // (replay_claimed), queueing behind it is all that is needed.
+        on_demand = !s->replay_claimed;
+      } else if (!s->worker_active) {
         s->worker_active = true;
         arm = true;
       }
@@ -375,8 +372,8 @@ void Msp::HandleRequestMsg(Message m) {
     network_->Send(config_.id, m.sender, r.Encode());
     return;
   }
-  if (busy) {
-    SendBusyReply(m);
+  if (on_demand) {
+    pool_->Submit([this, s] { SessionRecoveryTask(s, /*on_demand=*/true); });
     return;
   }
   if (arm) {
@@ -1589,8 +1586,11 @@ obs::FlightSnapshot Msp::BuildFlightSnapshot() const {
     }
   }
   if (log_) {
-    snap.log_end_lsn = log_->end_lsn();
-    snap.log_durable_lsn = log_->durable_lsn();
+    const LogExtents x = log_->Extents();  // one consistent snapshot
+    snap.log_end_lsn = x.end_lsn;
+    snap.log_durable_lsn = x.durable_lsn;
+    snap.log_reclaimed_lsn = x.reclaimed_lsn;
+    snap.log_archived_lsn = x.archived_lsn;
   }
   return snap;
 }
@@ -1628,11 +1628,14 @@ std::string Msp::DumpStatusz() const {
            ",\"ended\":" + std::to_string(ended) + "},";
   }
 
-  // Log extents (absent outside kLogBased or before Start).
+  // Log extents (absent outside kLogBased or before Start). One Extents()
+  // snapshot — the former end/durable/reclaimed triple-read could tear.
   if (log_) {
-    out += "\"log\":{\"end_lsn\":" + std::to_string(log_->end_lsn()) +
-           ",\"durable_lsn\":" + std::to_string(log_->durable_lsn()) +
-           ",\"reclaimed_lsn\":" + std::to_string(log_->reclaimed_lsn()) +
+    const LogExtents x = log_->Extents();
+    out += "\"log\":{\"end_lsn\":" + std::to_string(x.end_lsn) +
+           ",\"durable_lsn\":" + std::to_string(x.durable_lsn) +
+           ",\"reclaimed_lsn\":" + std::to_string(x.reclaimed_lsn) +
+           ",\"archived_lsn\":" + std::to_string(x.archived_lsn) +
            "},";
   }
 

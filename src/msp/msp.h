@@ -61,6 +61,25 @@ namespace msplog {
 
 class ExecContext;
 class ReplayCursor;
+class RecoveryCoordinator;
+
+/// Typed designator for Msp::ForceCheckpoint — the one entry point behind
+/// which the three checkpoint kinds of §3.4 (whole-MSP fuzzy checkpoint,
+/// per-session checkpoint, shared-variable checkpoint) now live.
+struct CheckpointTarget {
+  enum class Kind { kMsp, kSession, kSharedVar };
+  Kind kind = Kind::kMsp;
+  /// Session id (kSession) or shared-variable name (kSharedVar).
+  std::string name;
+
+  static CheckpointTarget Msp() { return {Kind::kMsp, ""}; }
+  static CheckpointTarget Session(std::string id) {
+    return {Kind::kSession, std::move(id)};
+  }
+  static CheckpointTarget SharedVar(std::string var) {
+    return {Kind::kSharedVar, std::move(var)};
+  }
+};
 
 class Msp {
  public:
@@ -94,9 +113,23 @@ class Msp {
   LogFile* log() const { return log_.get(); }
 
   // ---- explicit checkpoint triggers (also driven by the daemon) ----
-  Status ForceMspCheckpoint();
-  Status ForceSessionCheckpoint(const std::string& session_id);
-  Status ForceSharedVarCheckpoint(const std::string& name);
+  /// Force a checkpoint of `target` now: the whole MSP (fuzzy, §3.4), one
+  /// session, or one shared variable. The typed target replaces the former
+  /// ForceMspCheckpoint / ForceSessionCheckpoint / ForceSharedVarCheckpoint
+  /// triple.
+  Status ForceCheckpoint(const CheckpointTarget& target);
+
+  /// Deprecated: thin wrappers over ForceCheckpoint(CheckpointTarget); use
+  /// the typed entry point in new code.
+  Status ForceMspCheckpoint() {
+    return ForceCheckpoint(CheckpointTarget::Msp());
+  }
+  Status ForceSessionCheckpoint(const std::string& session_id) {
+    return ForceCheckpoint(CheckpointTarget::Session(session_id));
+  }
+  Status ForceSharedVarCheckpoint(const std::string& name) {
+    return ForceCheckpoint(CheckpointTarget::SharedVar(name));
+  }
 
   // ---- crash-injection & instrumentation hooks ----
   /// Invoked after each successfully processed request (not during replay).
@@ -172,15 +205,9 @@ class Msp {
   /// call from any thread.
   std::string DumpStatusz() const;
 
-  /// Model ms the most recent crash recovery's analysis scan took.
-  /// Back-compat shim over LastRecoveryTimeline().analysis_scan_ms.
-  double last_recovery_scan_ms() const EXCLUDES(timeline_mu_) {
-    audit::LockGuard lk(timeline_mu_);
-    return last_recovery_timeline_.analysis_scan_ms;
-  }
-
  private:
   friend class ExecContext;
+  friend class RecoveryCoordinator;
 
   enum class State { kStopped, kRecovering, kRunning, kCrashed };
 
@@ -278,8 +305,14 @@ class Msp {
   /// shared variables (§3.4); recovery passes false because peer flushes are
   /// not yet serviceable at that point.
   Status TakeMspCheckpoint(bool force_units);
+  /// ForceCheckpoint bodies for the session / shared-variable kinds.
+  Status ForceSessionCheckpointImpl(const std::string& session_id);
+  Status ForceSharedVarCheckpointImpl(const std::string& name);
 
   // ---- recovery (§4) ----
+  /// Thin wrapper over RecoveryCoordinator: analysis pass + open
+  /// preparation. Session replay is NOT awaited — Start() kicks off the
+  /// background drain and HandleRequestMsg admits sessions on demand.
   Status CrashRecovery();
   /// Replay loop handling repeated orphan-ness under multiple crashes.
   /// `from_crash` marks replays launched by crash recovery (vs lazy orphan
@@ -291,7 +324,10 @@ class Msp {
   /// checkpoint initialized from and every request record consumed).
   Status ReplayOnce(Session* s, uint64_t* replayed_out = nullptr,
                     obs::RecoveryTimeline::SessionProvenance* prov = nullptr);
-  void SessionRecoveryTask(std::shared_ptr<Session> s);
+  /// Claim-and-replay one session (no-op if it already replayed or another
+  /// replay owns it). `on_demand` marks admissions triggered by a live
+  /// request (vs the background drain) in the recovery timeline.
+  void SessionRecoveryTask(std::shared_ptr<Session> s, bool on_demand = false);
 
   // ---- baseline substrate ----
   Status FetchBaselineState(Session* s, bool* found);
@@ -396,6 +432,12 @@ class Msp {
   std::deque<obs::RecoveryTimeline> recovery_history_ GUARDED_BY(timeline_mu_);
   /// Concurrent RecoverSessionReplay calls right now / high-water mark.
   std::atomic<uint32_t> active_replays_{0};
+
+  /// The phased driver of the most recent crash recovery; rebuilt by each
+  /// CrashRecovery() under lifecycle_mu_, and quiesced before replacement
+  /// (pool tasks referencing it are joined by Crash/Shutdown).
+  std::unique_ptr<RecoveryCoordinator>
+      recovery_coordinator_;  // audit:allow(guarded-by)
 
   /// Crashes suffered (not graceful shutdowns); stamps flight bundles.
   std::atomic<uint64_t> crash_generation_{0};

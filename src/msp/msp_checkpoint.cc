@@ -166,7 +166,11 @@ Status Msp::TakeMspCheckpoint(bool force_units) {
   // prefix is dead ("the session's previous log records can be discarded",
   // §3.2; we extend the same argument to the whole log).
   if (config_.reclaim_log && min_needed > 0) {
-    log_->ReclaimUpTo(min_needed);
+    if (config_.archive_log) {
+      log_->ArchiveUpTo(min_needed);
+    } else {
+      log_->ReclaimUpTo(min_needed);
+    }
   }
 
   for (auto& s : stale_sessions) {
@@ -178,9 +182,19 @@ Status Msp::TakeMspCheckpoint(bool force_units) {
   return Status::OK();
 }
 
-Status Msp::ForceMspCheckpoint() { return TakeMspCheckpoint(true); }
+Status Msp::ForceCheckpoint(const CheckpointTarget& target) {
+  switch (target.kind) {
+    case CheckpointTarget::Kind::kMsp:
+      return TakeMspCheckpoint(/*force_units=*/true);
+    case CheckpointTarget::Kind::kSession:
+      return ForceSessionCheckpointImpl(target.name);
+    case CheckpointTarget::Kind::kSharedVar:
+      return ForceSharedVarCheckpointImpl(target.name);
+  }
+  return Status::InvalidArgument("unknown checkpoint target kind");
+}
 
-Status Msp::ForceSessionCheckpoint(const std::string& session_id) {
+Status Msp::ForceSessionCheckpointImpl(const std::string& session_id) {
   auto s = GetSession(session_id);
   if (!s) return Status::NotFound("no session " + session_id);
   // Claim the session like a worker would, so the checkpoint happens
@@ -211,7 +225,7 @@ Status Msp::ForceSessionCheckpoint(const std::string& session_id) {
   return st;
 }
 
-Status Msp::ForceSharedVarCheckpoint(const std::string& name) {
+Status Msp::ForceSharedVarCheckpointImpl(const std::string& name) {
   std::shared_ptr<SharedVariable> v;
   {
     audit::LockGuard lk(vars_mu_);
@@ -244,7 +258,7 @@ void Msp::CheckpointDaemonLoop() {
         log_->end_lsn() - last_msp_cp_log_end_.load() >=
             config_.msp_checkpoint_log_bytes &&
         state_.load() == State::kRunning) {
-      (void)TakeMspCheckpoint(true);
+      (void)ForceCheckpoint(CheckpointTarget::Msp());
     }
     lk.lock();
   }

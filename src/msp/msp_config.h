@@ -63,6 +63,10 @@ struct MspConfig {
   /// Reclaim (hole-punch) log space below the analysis-scan start after
   /// each MSP checkpoint — everything before it can never be read again.
   bool reclaim_log = true;
+  /// With reclaim_log: copy each reclaimed range into an archive segment
+  /// (`<log>.arc.<base>`) before punching it, so offline forensics can still
+  /// reconstruct the full log image (msplog_inspect --archive-manifest).
+  bool archive_log = false;
   /// Daemon wake interval (model ms).
   double checkpoint_interval_ms = 250.0;
 

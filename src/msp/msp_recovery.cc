@@ -1,24 +1,17 @@
-// Recovery processing (§4): MSP crash recovery (analysis scan, shared-state
-// roll forward, recovery broadcast, parallel session replay) and session
-// orphan recovery (replay from the latest checkpoint along the position
-// stream, EOS cut at the orphan log record, live continuation).
+// Recovery processing (§4): the CrashRecovery wrapper over the phased
+// RecoveryCoordinator (analysis scan + open + background drain live in
+// recovery_coordinator.cc), per-session replay, and session orphan recovery
+// (replay from the latest checkpoint along the position stream, EOS cut at
+// the orphan log record, live continuation).
 #include <algorithm>
-#include <map>
 
 #include "audit/invariants.h"
 #include "audit/mutex.h"
-#include "log/log_scanner.h"
 #include "msp/exec_context.h"
 #include "msp/msp.h"
-#include "msp/msp_checkpoint_format.h"
+#include "msp/recovery_coordinator.h"
 
 namespace msplog {
-
-namespace {
-std::string PosFileName(const std::string& msp, const std::string& session) {
-  return "pos/" + msp + "/" + session;
-}
-}  // namespace
 
 obs::RecoveryTimeline Msp::LastRecoveryTimeline() const {
   audit::LockGuard lk(timeline_mu_);
@@ -51,318 +44,29 @@ obs::OutageReport Msp::LastOutageReport() const {
 }
 
 Status Msp::CrashRecovery() {
-  double t0 = env_->NowModelMs();
-  env_->tracer().Record(obs::TraceEventType::kRecoveryStart, t0, config_.id);
-  const std::string log_file = config_.id + ".log";
-
-  // Epoch handling: bump and persist the epoch BEFORE anything else, so a
-  // crash during recovery can never reuse a failure-free period identifier.
-  AnchorData ad;
-  Status ast = anchor_.Read(&ad);
-  uint64_t msp_cp_lsn = 0;
-  uint32_t old_epoch = 0;
-  if (ast.ok()) {
-    msp_cp_lsn = ad.msp_checkpoint_lsn;
-    old_epoch = ad.epoch;
-  } else if (!ast.IsNotFound()) {
-    return ast;
-  }
-  epoch_.store(old_epoch + 1);
-  MSPLOG_RETURN_IF_ERROR(anchor_.Write({msp_cp_lsn, epoch_.load()}));
-
-  {
-    audit::LockGuard lk(timeline_mu_);
-    // The previous recovery's timeline moves into the bounded history
-    // before this one takes the "last" slot.
-    if (last_recovery_timeline_.epoch != 0) {
-      recovery_history_.push_back(std::move(last_recovery_timeline_));
-      while (recovery_history_.size() > kRecoveryHistoryLimit) {
-        recovery_history_.pop_front();
-      }
-    }
-    last_recovery_timeline_ = obs::RecoveryTimeline();
-    last_recovery_timeline_.epoch = epoch_.load();
-    last_recovery_timeline_.started_model_ms = t0;
-    last_recovery_timeline_.msp_checkpoint_lsn = msp_cp_lsn;
-  }
-
-  // Re-initialize from the most recent MSP checkpoint (Fig. 12).
-  uint64_t min_lsn = 0;
-  if (msp_cp_lsn != 0) {
-    LogRecord cp;
-    MSPLOG_RETURN_IF_ERROR(log_->ReadRecordAt(msp_cp_lsn, &cp));
-    if (cp.type != LogRecordType::kMspCheckpoint) {
-      return Status::Corruption("anchor does not point at an MSP checkpoint");
-    }
-    MspCheckpointData data;
-    MSPLOG_RETURN_IF_ERROR(data.Decode(cp.payload));
-    {
-      audit::LockGuard lk(table_mu_);
-      recovered_table_.Merge(data.table);
-    }
-    audit::LockGuard lk(sessions_mu_);
-    for (const auto& e : data.sessions) {
-      auto s = std::make_shared<Session>(e.id, e.client, disk_,
-                                         PosFileName(config_.id, e.id));
-      s->last_checkpoint_lsn.store(e.last_checkpoint_lsn);
-      s->first_lsn.store(e.first_lsn);
-      s->recovering = true;
-      sessions_[e.id] = s;
-    }
-    for (const auto& e : data.vars) {
-      auto v = GetOrCreateSharedVar(e.name);
-      v->last_checkpoint_lsn = e.last_checkpoint_lsn;
-    }
-    min_lsn = data.MinRecoveryLsn(msp_cp_lsn);
-  }
-
-  // Single-threaded analysis scan (§4.3): reconstruct position streams,
-  // roll shared variables forward, rebuild recovered-state knowledge.
-  const uint64_t durable = disk_->FileSize(log_file);
-  std::map<std::string, std::vector<uint64_t>> positions;
-  {
-    audit::LockGuard lk(sessions_mu_);
-    for (auto& [id, s] : sessions_) positions[id];  // seed known sessions
-  }
-
-  auto ensure_session =
-      [&](const std::string& id,
-          const std::string& client) -> std::shared_ptr<Session> {
-    audit::LockGuard lk(sessions_mu_);
-    auto it = sessions_.find(id);
-    if (it != sessions_.end()) {
-      if (it->second->client.empty() && !client.empty()) {
-        it->second->client = client;
-      }
-      return it->second;
-    }
-    auto s = std::make_shared<Session>(id, client, disk_,
-                                       PosFileName(config_.id, id));
-    s->recovering = true;
-    sessions_[id] = s;
-    return s;
-  };
-
-  uint64_t scanned_records = 0;
-  LogScanner scanner(disk_, log_file, min_lsn, durable);
-  while (true) {
-    LogRecord rec;
-    Status st = scanner.Next(&rec);
-    if (st.IsNotFound()) break;
-    if (st.IsCorruption()) break;  // torn tail: the durable log ends here
-    MSPLOG_RETURN_IF_ERROR(st);
-    ++scanned_records;
-
-    switch (rec.type) {
-      case LogRecordType::kSessionStart: {
-        auto s = ensure_session(rec.session_id, rec.target);
-        s->first_lsn.store(rec.lsn);
-        break;
-      }
-      case LogRecordType::kRequestReceive:
-      case LogRecordType::kSharedRead:
-      case LogRecordType::kReplyReceive: {
-        auto s = ensure_session(rec.session_id, "");
-        if (rec.lsn > s->last_checkpoint_lsn.load()) {
-          positions[rec.session_id].push_back(rec.lsn);
-        }
-        break;
-      }
-      case LogRecordType::kSharedWrite: {
-        // Roll forward (§4.3): each write record carries the full value.
-        auto v = GetOrCreateSharedVar(rec.var_id);
-        audit::SharedUniqueLock vlk(v->rw);
-        v->value = rec.payload;
-        v->dv = rec.dv;
-        v->state_number = rec.lsn;
-        v->last_write_lsn = rec.lsn;
-        break;
-      }
-      case LogRecordType::kSharedVarCheckpoint: {
-        auto v = GetOrCreateSharedVar(rec.var_id);
-        audit::SharedUniqueLock vlk(v->rw);
-        v->value = rec.payload;
-        v->dv.Clear();
-        v->state_number = rec.lsn;
-        v->last_write_lsn = rec.lsn;
-        v->last_checkpoint_lsn = rec.lsn;
-        break;
-      }
-      case LogRecordType::kSessionCheckpoint: {
-        auto s = ensure_session(rec.session_id, "");
-        s->last_checkpoint_lsn.store(rec.lsn);
-        positions[rec.session_id].clear();
-        break;
-      }
-      case LogRecordType::kSessionEnd: {
-        audit::LockGuard lk(sessions_mu_);
-        sessions_.erase(rec.session_id);
-        positions.erase(rec.session_id);
-        break;
-      }
-      case LogRecordType::kRecoveredState: {
-        audit::LockGuard lk(table_mu_);
-        recovered_table_.Record(rec.peer, rec.peer_epoch,
-                                rec.peer_recovered_sn);
-        break;
-      }
-      case LogRecordType::kEos: {
-        // §4.3: records from the orphan record through the EOS are skipped
-        // by any subsequent recovery of this session.
-        auto it = positions.find(rec.session_id);
-        if (it != positions.end()) {
-          auto& ps = it->second;
-          ps.erase(std::remove_if(ps.begin(), ps.end(),
-                                  [&](uint64_t p) {
-                                    return p >= rec.prev_lsn && p <= rec.lsn;
-                                  }),
-                   ps.end());
-        }
-        break;
-      }
-      case LogRecordType::kMspCheckpoint:
-        break;  // the newest one already initialized us
-      default:
-        break;
-    }
-  }
-
-  // The recovered state number for the epoch that just ended: the largest
-  // LSN that can still belong to a durable record. `durable` is the
-  // EXCLUSIVE end of the durable extent — a record whose frame starts at
-  // exactly `durable` was lost, so the boundary itself counts as not
-  // recovered.
-  const uint64_t recovered_sn = durable > 0 ? durable - 1 : 0;
-  {
-    audit::LockGuard lk(table_mu_);
-    recovered_table_.Record(config_.id, old_epoch, recovered_sn);
-  }
-
-  // Hand the reconstructed position streams to the sessions.
-  uint64_t sessions_to_recover = 0;
-  std::vector<std::string> surviving_ids;
-  {
-    audit::LockGuard lk(sessions_mu_);
-    for (auto& [id, s] : sessions_) {
-      auto it = positions.find(id);
-      if (it != positions.end()) {
-        s->positions.ReplaceAll(std::move(it->second));
-      }
-      s->recovering = true;
-      surviving_ids.push_back(id);
-    }
-    sessions_to_recover = sessions_.size();
-  }
-
-  // Outage observatory join (flight recorder × analysis scan): the frozen
-  // pre-crash bundle names the sessions that were in flight at the crash;
-  // the scan just established which of them left any durable trace. A
-  // bundle session absent from the rebuilt table was never logged — its
-  // client sees a fresh session, servable once recovery completes. The
-  // rest start "pending" and are resolved by their replay.
-  {
-    obs::FlightBundle bundle =
-        env_->flight_recorder().LatestBundleFor(config_.id);
-    audit::LockGuard lk(timeline_mu_);
-    if (bundle.frozen && bundle.generation == crash_generation_.load() &&
-        bundle.generation > outage_joined_generation_) {
-      outage_joined_generation_ = bundle.generation;
-      last_outage_report_ = obs::OutageReport();
-      last_outage_report_.valid = true;
-      last_outage_report_.generation = bundle.generation;
-      last_outage_report_.epoch = epoch_.load();
-      last_outage_report_.crash_model_ms = bundle.frozen_at_ms;
-      last_outage_report_.recovery_start_ms = t0;
-      for (const auto& [who, snap] : bundle.snapshots) {
-        if (who != config_.id) continue;
-        for (const std::string& id : snap.inflight_sessions) {
-          obs::OutageReport::SessionFate f;
-          f.session_id = id;
-          f.was_in_flight = true;
-          if (std::find(surviving_ids.begin(), surviving_ids.end(), id) ==
-              surviving_ids.end()) {
-            f.fate = "never-logged";
-          }
-          last_outage_report_.sessions.push_back(std::move(f));
-        }
-      }
-    }
-  }
-
-  // Analysis phase (§4.3) ends here: the single-threaded scan is done and
-  // every session knows its replay positions. What follows — broadcast and
-  // the fresh MSP checkpoint — is attributed separately in the timeline.
-  const double scan_end_ms = env_->NowModelMs();
-  env_->tracer().Record(obs::TraceEventType::kAnalysisScanEnd, scan_end_ms,
-                        config_.id, /*session=*/"", /*seqno=*/0,
-                        "records=" + std::to_string(scanned_records));
-  {
-    audit::LockGuard lk(timeline_mu_);
-    last_recovery_timeline_.analysis_scan_ms = scan_end_ms - t0;
-    last_recovery_timeline_.analysis_records_scanned = scanned_records;
-    last_recovery_timeline_.analysis_bytes_scanned =
-        durable > min_lsn ? durable - min_lsn : 0;
-    last_recovery_timeline_.sessions_to_recover = sessions_to_recover;
-    last_recovery_timeline_.scan_start_lsn = min_lsn;
-    last_recovery_timeline_.scan_end_lsn = durable;
-  }
-
-  // Broadcast the recovery message within the service domain (§4.3). The
-  // full own history is included so peers recovering concurrently (or that
-  // lost an unflushed kRecoveredState record) still converge.
-  std::vector<std::pair<uint32_t, uint64_t>> own_history;
-  {
-    audit::LockGuard lk(table_mu_);
-    for (const auto& [key, sn] : recovered_table_.entries()) {
-      if (key.first == config_.id) own_history.push_back({key.second, sn});
-    }
-  }
-  for (const auto& peer : directory_->PeersOf(config_.id)) {
-    for (const auto& [e, sn] : own_history) {
-      Message m;
-      m.type = MessageType::kRecoveryAnnounce;
-      m.sender = config_.id;
-      m.rec_epoch = e;
-      m.rec_sn = sn;
-      network_->Send(config_.id, peer, m.Encode());
-    }
-  }
-
-  // Fresh MSP checkpoint so the next crash starts from here (Fig. 12).
-  // Unit forcing is skipped: peers cannot be flushed to before our
-  // dispatcher runs.
-  const double cp_t0 = env_->NowModelMs();
-  MSPLOG_RETURN_IF_ERROR(TakeMspCheckpoint(/*force_units=*/false));
-
-  const double end_ms = env_->NowModelMs();
-  {
-    audit::LockGuard lk(timeline_mu_);
-    last_recovery_timeline_.post_scan_checkpoint_ms = end_ms - cp_t0;
-    // Never-logged sessions have no replay to resolve them: they become
-    // servable (as brand-new sessions) the moment recovery completes.
-    if (last_outage_report_.valid) {
-      for (auto& f : last_outage_report_.sessions) {
-        if (f.fate == "never-logged" && f.servable_at_ms == 0) {
-          f.servable_at_ms = end_ms;
-          f.time_to_servable_ms = end_ms - last_outage_report_.crash_model_ms;
-        }
-      }
-      last_outage_report_.Finalize();
-    }
-  }
-  env_->flight_recorder().Record(
-      obs::FlightEventType::kRecovery, config_.id, /*session=*/"",
-      /*seqno=*/0,
-      "epoch=" + std::to_string(epoch_.load()) +
-          " sessions=" + std::to_string(sessions_to_recover) +
-          " scan_ms=" + std::to_string(scan_end_ms - t0));
-  env_->tracer().Record(obs::TraceEventType::kRecoveryEnd, end_ms, config_.id,
-                        /*session=*/"", /*seqno=*/0,
-                        "sessions=" + std::to_string(sessions_to_recover));
-  return Status::OK();
+  // Thin wrapper over the phased coordinator (recovery_coordinator.h):
+  // analysis + open here, synchronously, so Start() can accept traffic the
+  // moment this returns; the per-session replay drain is kicked off by
+  // Start() after the mailbox is live (BeginBackgroundDrain) and raced by
+  // on-demand admissions (HandleRequestMsg).
+  recovery_coordinator_ = std::make_unique<RecoveryCoordinator>(this);
+  MSPLOG_RETURN_IF_ERROR(recovery_coordinator_->RunAnalysis());
+  return recovery_coordinator_->PrepareOpen();
 }
 
-void Msp::SessionRecoveryTask(std::shared_ptr<Session> s) {
+void Msp::SessionRecoveryTask(std::shared_ptr<Session> s, bool on_demand) {
+  {
+    // Claim the session: background drain, on-demand admission, and (via
+    // RecoverSessionReplay's own claim) lazy orphan recovery may race to
+    // replay it; exactly one wins, the rest no-op.
+    audit::LockGuard lk(sessions_mu_);
+    if (!s->recovering || s->replay_claimed) return;
+    s->replay_claimed = true;
+  }
+  if (on_demand) {
+    audit::LockGuard lk(timeline_mu_);
+    ++last_recovery_timeline_.on_demand_replays;
+  }
   (void)RecoverSessionReplay(s.get(), /*from_crash=*/true);
   env_->stats().sessions_recovered.fetch_add(1);
 }
@@ -371,6 +75,9 @@ Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
   {
     audit::LockGuard lk(sessions_mu_);
     s->recovering = true;
+    // Also claim: blocks the admission gate from spawning a concurrent
+    // on-demand replay while a lazy orphan recovery owns the session.
+    s->replay_claimed = true;
   }
   const double replay_t0 = env_->NowModelMs();
   env_->tracer().Record(obs::TraceEventType::kReplayStart, replay_t0,
@@ -474,6 +181,7 @@ Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
   {
     audit::LockGuard lk(sessions_mu_);
     s->recovering = false;
+    s->replay_claimed = false;
     if ((!s->pending_requests.empty() || s->needs_orphan_check ||
          s->needs_checkpoint) &&
         !s->worker_active) {

@@ -96,6 +96,11 @@ class Session {
   std::deque<QueuedRequest> pending_requests;
   bool worker_active = false;
   bool recovering = false;
+  /// Set while a replay (background drain, on-demand admission, or lazy
+  /// orphan recovery) owns this session, cleared together with `recovering`
+  /// at replay end. Distinguishes "waiting for replay" (a new request may
+  /// claim it on demand) from "replay in progress" (just queue behind it).
+  bool replay_claimed = false;
   bool needs_orphan_check = false;
   /// Set by the MSP checkpoint when this session's checkpoint is stale
   /// (§3.4 forced checkpoints); honored by the session worker.

@@ -64,6 +64,10 @@ std::string FlightBundle::ToJson() const {
     out += "{\"actor\":\"" + JsonEscape(who) + "\",";
     out += "\"log_end_lsn\":" + std::to_string(snap.log_end_lsn) + ",";
     out += "\"log_durable_lsn\":" + std::to_string(snap.log_durable_lsn) + ",";
+    out += "\"log_reclaimed_lsn\":" + std::to_string(snap.log_reclaimed_lsn) +
+           ",";
+    out += "\"log_archived_lsn\":" + std::to_string(snap.log_archived_lsn) +
+           ",";
     out += "\"inflight_sessions\":[";
     for (size_t j = 0; j < snap.inflight_sessions.size(); ++j) {
       if (j) out += ",";

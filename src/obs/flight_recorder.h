@@ -64,8 +64,10 @@ struct FlightSnapshot {
   /// Ids of sessions that were started but not ended when the snapshot was
   /// taken — the set the outage report must account for.
   std::vector<std::string> inflight_sessions;
-  uint64_t log_end_lsn = 0;      ///< log tail extent (bytes appended)
-  uint64_t log_durable_lsn = 0;  ///< durable prefix at the freeze
+  uint64_t log_end_lsn = 0;        ///< log tail extent (bytes appended)
+  uint64_t log_durable_lsn = 0;    ///< durable prefix at the freeze
+  uint64_t log_reclaimed_lsn = 0;  ///< reclaimed (punched) prefix
+  uint64_t log_archived_lsn = 0;   ///< prefix preserved in archive segments
 };
 
 /// One frozen black-box bundle. Immutable once created.

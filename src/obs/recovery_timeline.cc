@@ -8,21 +8,24 @@ namespace msplog {
 namespace obs {
 
 std::string RecoveryTimeline::ToJson() const {
-  char buf[384];
+  char buf[576];
   snprintf(buf, sizeof(buf),
            "{\"epoch\":%u,\"started_ms\":%.6g,\"analysis_scan_ms\":%.6g,"
            "\"analysis_records_scanned\":%llu,\"analysis_bytes_scanned\":%llu,"
-           "\"post_scan_checkpoint_ms\":%.6g,\"sessions_to_recover\":%llu,"
+           "\"post_scan_checkpoint_ms\":%.6g,\"open_for_traffic_ms\":%.6g,"
+           "\"sessions_to_recover\":%llu,"
            "\"max_parallel_replays\":%u,\"orphan_events\":%llu,"
+           "\"on_demand_replays\":%llu,"
            "\"total_replay_ms\":%.6g,\"msp_checkpoint_lsn\":%llu,"
            "\"scan_start_lsn\":%llu,\"scan_end_lsn\":%llu,"
            "\"session_replays\":[",
            epoch, started_model_ms, analysis_scan_ms,
            static_cast<unsigned long long>(analysis_records_scanned),
            static_cast<unsigned long long>(analysis_bytes_scanned),
-           post_scan_checkpoint_ms,
+           post_scan_checkpoint_ms, open_for_traffic_ms,
            static_cast<unsigned long long>(sessions_to_recover),
            max_parallel_replays, static_cast<unsigned long long>(orphan_events),
+           static_cast<unsigned long long>(on_demand_replays),
            TotalReplayMs(), static_cast<unsigned long long>(msp_checkpoint_lsn),
            static_cast<unsigned long long>(scan_start_lsn),
            static_cast<unsigned long long>(scan_end_lsn));

@@ -1,8 +1,10 @@
 // RecoveryTimeline — structured per-phase accounting of one crash recovery
-// (§4.3): the single-threaded analysis scan, the post-scan checkpoint, and
-// every session replay that follows (parallel after a crash, lazy when
-// orphan recovery fires at an interception point). Replaces the old
-// Msp::last_recovery_scan_ms_ scalar, which survives as a shim.
+// (§4.3): the single-threaded analysis scan, the post-scan checkpoint, the
+// moment the server reopened for traffic (instant restart), and every
+// session replay that follows (background drain or on-demand admission
+// after a crash, lazy when orphan recovery fires at an interception point).
+// This is the sole source of the analysis-scan duration; the old
+// Msp::last_recovery_scan_ms shim is gone — read analysis_scan_ms here.
 //
 // Provenance: alongside the phase durations, the timeline records *what*
 // rebuilt each session — the MSP checkpoint the anchor pointed at, the
@@ -58,10 +60,18 @@ struct RecoveryTimeline {
   uint64_t analysis_records_scanned = 0;
   uint64_t analysis_bytes_scanned = 0;  ///< durable log extent scanned
   double post_scan_checkpoint_ms = 0;   ///< fresh MSP checkpoint (Fig. 12)
+  /// Model ms from recovery start until the server reopened for traffic
+  /// (instant restart: before any session replayed). Sessions become
+  /// servable individually afterwards — see OutageReport's per-session
+  /// time_to_servable_ms for the client-visible metric.
+  double open_for_traffic_ms = 0;
   uint64_t sessions_to_recover = 0;     ///< sessions queued for replay
   std::vector<SessionReplay> session_replays;
   uint32_t max_parallel_replays = 0;    ///< peak concurrent session replays
   uint64_t orphan_events = 0;           ///< orphan detections attributed here
+  /// Replays triggered by a live request hitting the admission gate ahead
+  /// of the background drain (subset of session_replays).
+  uint64_t on_demand_replays = 0;
 
   // ---- provenance ----
   uint64_t msp_checkpoint_lsn = 0;  ///< anchor's MSP checkpoint (0 = none)

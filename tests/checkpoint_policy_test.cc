@@ -81,8 +81,8 @@ TEST_F(CheckpointPolicyTest, IdleSessionIsForceCheckpointed) {
   }
   EXPECT_EQ(env_.stats().checkpoints_session.load(), 0u);
   // The session now goes idle while MSP checkpoints keep happening.
-  ASSERT_TRUE(msp_->ForceMspCheckpoint().ok());
-  ASSERT_TRUE(msp_->ForceMspCheckpoint().ok());
+  ASSERT_TRUE(msp_->ForceCheckpoint(CheckpointTarget::Msp()).ok());
+  ASSERT_TRUE(msp_->ForceCheckpoint(CheckpointTarget::Msp()).ok());
   // The second MSP checkpoint crossed the staleness threshold and armed a
   // forced session checkpoint on the pool.
   for (int spin = 0; spin < 200; ++spin) {
@@ -108,7 +108,7 @@ TEST_F(CheckpointPolicyTest, UncheckpointedVariableIsCheckpointedByMspCp) {
   EXPECT_EQ(env_.stats().checkpoints_shared_var.load(), 0u);
   // The MSP checkpoint's pre-pass gives every variable a checkpoint
   // position so the scan start is bounded.
-  ASSERT_TRUE(msp_->ForceMspCheckpoint().ok());
+  ASSERT_TRUE(msp_->ForceCheckpoint(CheckpointTarget::Msp()).ok());
   EXPECT_GE(env_.stats().checkpoints_shared_var.load(), 1u);
 }
 
@@ -153,8 +153,8 @@ TEST_F(CheckpointPolicyTest, RecoveryAfterForcedCheckpointsIsExact) {
     for (int i = 0; i < 4; ++i) {
       ASSERT_TRUE(client.Call(&session, "bump", "", &reply).ok());
     }
-    ASSERT_TRUE(msp_->ForceMspCheckpoint().ok());
-    ASSERT_TRUE(msp_->ForceMspCheckpoint().ok());
+    ASSERT_TRUE(msp_->ForceCheckpoint(CheckpointTarget::Msp()).ok());
+    ASSERT_TRUE(msp_->ForceCheckpoint(CheckpointTarget::Msp()).ok());
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   msp_->Crash();

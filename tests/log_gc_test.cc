@@ -132,9 +132,9 @@ TEST_F(MspGcTest, CheckpointDrivenReclamationKeepsRecoveryCorrect) {
     }
     // Checkpoint the session and the variable, then the MSP: everything
     // before this round becomes reclaimable.
-    ASSERT_TRUE(msp_->ForceSessionCheckpoint(session.session_id).ok());
-    ASSERT_TRUE(msp_->ForceSharedVarCheckpoint("acc").ok());
-    ASSERT_TRUE(msp_->ForceMspCheckpoint().ok());
+    ASSERT_TRUE(msp_->ForceCheckpoint(CheckpointTarget::Session(session.session_id)).ok());
+    ASSERT_TRUE(msp_->ForceCheckpoint(CheckpointTarget::SharedVar("acc")).ok());
+    ASSERT_TRUE(msp_->ForceCheckpoint(CheckpointTarget::Msp()).ok());
   }
   EXPECT_EQ(reply, "40");
   uint64_t reclaimed = env_.stats().disk_bytes_reclaimed.load();
@@ -172,8 +172,8 @@ TEST_F(MspGcTest, ReclamationCanBeDisabled) {
     ASSERT_TRUE(client.Call(&session, "echo", "x", &reply).ok());
   }
   uint64_t before = env_.stats().disk_bytes_reclaimed.load();
-  ASSERT_TRUE(msp_->ForceSessionCheckpoint(session.session_id).ok());
-  ASSERT_TRUE(msp_->ForceMspCheckpoint().ok());
+  ASSERT_TRUE(msp_->ForceCheckpoint(CheckpointTarget::Session(session.session_id)).ok());
+  ASSERT_TRUE(msp_->ForceCheckpoint(CheckpointTarget::Msp()).ok());
   EXPECT_EQ(env_.stats().disk_bytes_reclaimed.load(), before);
 }
 

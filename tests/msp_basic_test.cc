@@ -402,7 +402,7 @@ TEST_F(MspBasicTest, SessionCheckpointTruncatesPositionStream) {
     ASSERT_TRUE(client.Call(&session, "counter", "", &reply).ok());
   }
   EXPECT_GE(alpha_->PeekPositionStream(session.session_id).size(), 5u);
-  ASSERT_TRUE(alpha_->ForceSessionCheckpoint(session.session_id).ok());
+  ASSERT_TRUE(alpha_->ForceCheckpoint(CheckpointTarget::Session(session.session_id)).ok());
   EXPECT_TRUE(alpha_->PeekPositionStream(session.session_id).empty());
   // Service continues normally after the checkpoint.
   ASSERT_TRUE(client.Call(&session, "counter", "", &reply).ok());
@@ -415,7 +415,7 @@ TEST_F(MspBasicTest, MspCheckpointUpdatesAnchor) {
   auto session = client.StartSession("alpha");
   Bytes reply;
   ASSERT_TRUE(client.Call(&session, "echo", "x", &reply).ok());
-  ASSERT_TRUE(alpha_->ForceMspCheckpoint().ok());
+  ASSERT_TRUE(alpha_->ForceCheckpoint(CheckpointTarget::Msp()).ok());
   LogAnchor anchor(&disk_a_, "alpha.anchor");
   AnchorData ad;
   ASSERT_TRUE(anchor.Read(&ad).ok());

@@ -216,8 +216,8 @@ TEST_F(MspRecoveryTest, CheckpointBoundsReplayWork) {
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(client.Call(&session, "counter", "", &reply).ok());
   }
-  ASSERT_TRUE(msp_->ForceSessionCheckpoint(session.session_id).ok());
-  ASSERT_TRUE(msp_->ForceMspCheckpoint().ok());
+  ASSERT_TRUE(msp_->ForceCheckpoint(CheckpointTarget::Session(session.session_id)).ok());
+  ASSERT_TRUE(msp_->ForceCheckpoint(CheckpointTarget::Msp()).ok());
   uint64_t replayed_before = env_.stats().requests_replayed.load();
   CrashAndRestart();
   ASSERT_TRUE(client.Call(&session, "counter", "", &reply).ok());
@@ -234,7 +234,7 @@ TEST_F(MspRecoveryTest, RecoveryWithCheckpointPlusTail) {
   for (int i = 0; i < 6; ++i) {
     ASSERT_TRUE(client.Call(&session, "counter", "", &reply).ok());
   }
-  ASSERT_TRUE(msp_->ForceSessionCheckpoint(session.session_id).ok());
+  ASSERT_TRUE(msp_->ForceCheckpoint(CheckpointTarget::Session(session.session_id)).ok());
   for (int i = 0; i < 4; ++i) {
     ASSERT_TRUE(client.Call(&session, "counter", "", &reply).ok());
   }
@@ -255,7 +255,7 @@ TEST_F(MspRecoveryTest, SharedVarCheckpointBreaksUndoChain) {
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(client.Call(&session, "add_shared", "1", &reply).ok());
   }
-  ASSERT_TRUE(msp_->ForceSharedVarCheckpoint("acc").ok());
+  ASSERT_TRUE(msp_->ForceCheckpoint(CheckpointTarget::SharedVar("acc")).ok());
   ASSERT_TRUE(client.Call(&session, "add_shared", "1", &reply).ok());
   EXPECT_EQ(reply, "6");
   CrashAndRestart();

@@ -447,11 +447,15 @@ TEST_F(StatsTest, RecoveryTimelineAccountsCrashRecoveryPhases) {
   EXPECT_TRUE(r.converged);
   EXPECT_EQ(tl.max_parallel_replays, 1u);
   EXPECT_DOUBLE_EQ(tl.TotalReplayMs(), r.replay_ms);
-  // The shim preserves the old scalar accessor.
-  EXPECT_DOUBLE_EQ(alpha_->last_recovery_scan_ms(), tl.analysis_scan_ms);
+  // The timeline is the sole source of the scan duration (the old
+  // last_recovery_scan_ms shim is gone) and it stamps the instant-restart
+  // open point, which can only precede or equal this session's replay end.
+  EXPECT_GT(tl.analysis_scan_ms, 0.0);
+  EXPECT_GT(tl.open_for_traffic_ms, 0.0);
   // ToJson carries the phases for the bench reports.
   std::string json = tl.ToJson();
   EXPECT_NE(json.find("\"analysis_scan_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"open_for_traffic_ms\""), std::string::npos);
   EXPECT_NE(json.find("\"session_replays\""), std::string::npos);
 
   // The tracer saw the same cycle: recovery start → analysis scan end →
