@@ -27,6 +27,14 @@ HIST_KEYS = ["response", "queue_wait", "execute", "flush_wait"]
 # Recovery-side benches emit recovery metrics plus an outage_report section
 # instead of the response-time schema above.
 RECOVERY_BENCHES = {"recovery_time", "fig15b_crash_rate"}
+
+# CPU micro-benches (bench_micro_ops --json) emit per-op nanosecond costs of
+# the hot-path primitives instead of model-time response quantiles.
+MICRO_BENCHES = {"micro_ops"}
+REQUIRED_MICRO = [
+    "payload_bytes", "ops", "append_ns", "appends_per_sec", "append_cold_ns",
+    "encode_ns", "encode_to_ns", "enqueue_ns",
+]
 OUTAGE_FATES = {"replayed", "orphaned", "never-logged", "pending"}
 REQUIRED_OUTAGE = [
     "valid", "complete", "generation", "epoch", "crash_model_ms",
@@ -198,6 +206,25 @@ def main():
             if "outage_report" not in blob:
                 fail("%s blob missing outage_report" % blob["bench"])
             check_outage_report(blob["bench"], blob["outage_report"])
+            continue
+        if blob.get("bench") in MICRO_BENCHES:
+            for k in REQUIRED_MICRO:
+                if k not in blob:
+                    fail("%s blob missing field %r (has %s)"
+                         % (blob["bench"], k, sorted(blob)))
+                if not isinstance(blob[k], (int, float)) or blob[k] <= 0:
+                    fail("%s field %r not a positive number: %r"
+                         % (blob["bench"], k, blob[k]))
+            # The zero-copy span encode exists to beat the allocating one.
+            # Sanitizer instrumentation (TSan shadows every byte written)
+            # distorts the ratio, so — like compare_bench's tolerance
+            # bands — the check is skipped for sanitized blobs.
+            if not blob.get("sanitized") and \
+                    blob["encode_to_ns"] > blob["encode_ns"] * 1.5:
+                fail("%s encode_to (%.0f ns) much slower than encode "
+                     "(%.0f ns) — the zero-copy path regressed"
+                     % (blob["bench"], blob["encode_to_ns"],
+                        blob["encode_ns"]))
             continue
         for k in REQUIRED_TOP:
             if k not in blob:

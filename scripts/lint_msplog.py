@@ -53,8 +53,18 @@ Checks enforced over src/ (stdlib only, no third-party deps):
                        contract in the name) or call AssertHeld /
                        AssertSharedHeld in its body (the runtime twin of the
                        compile-time contract).
+  hot-path-alloc       files tagged with a `// lint:hot-path` comment are
+                       allocation-free fast paths: constructing a
+                       std::function (heap-allocates per capture — use the
+                       SBO Task from common/task.h) and calling the
+                       allocating by-value Encode() (use the size-
+                       precomputed EncodeTo span path) are banned there.
+                       Naked new is already banned tree-wide. Reviewed
+                       exceptions carry `audit:allow(hot-path-alloc)`.
 
 Exit status: 0 clean, 1 findings (one `file:line: [check] message` per line).
+Run with --self-test to prove the hot-path-alloc rule still fires on known-
+bad input (a broken rule would otherwise pass everything forever).
 """
 
 import re
@@ -91,6 +101,12 @@ BLOCKING_CALL = re.compile(
     r"Barrier|Format)|(?:network_?|net_?)->\s*Send|log_->Flush\w*|"
     r"positions\.Flush\w*)\s*\(")
 UNLOCK = re.compile(r"\b(\w+)\s*\.\s*unlock\s*\(")
+
+# hot-path-alloc: a file opts in with this tag (in a comment); the checks
+# run on comment-stripped lines so prose mentioning std::function is fine.
+HOT_PATH_TAG = "lint:hot-path"
+STD_FUNCTION = re.compile(r"\bstd::function\s*<")
+ENCODE_BY_VALUE = re.compile(r"\.\s*Encode\s*\(\s*\)")
 
 
 def strip_comments_strings(line, in_block):
@@ -142,9 +158,14 @@ def strip_comments_strings(line, in_block):
 def lint_file(path, findings):
     rel = path.relative_to(REPO).as_posix()
     raw = path.read_text(errors="replace").splitlines()
+    lint_source(rel, raw, findings)
+
+
+def lint_source(rel, raw, findings):
     in_audit = rel.startswith("src/audit/")
     in_sim = rel.startswith("src/sim/")
-    is_header = path.suffix == ".h"
+    is_header = rel.endswith(".h")
+    hot_path = any(HOT_PATH_TAG in l for l in raw)
 
     # Guard tracking: list of (name, brace_depth_at_declaration).
     guards = []
@@ -201,6 +222,18 @@ def lint_file(path, findings):
                 f"{rel}:{lineno}: [flush-send] kFlushRequest built outside "
                 "the flush aggregator; route the flush through "
                 "FlushAggregator::Submit so it can coalesce")
+
+        if hot_path and "hot-path-alloc" not in allow:
+            if STD_FUNCTION.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: [hot-path-alloc] std::function in a "
+                    "lint:hot-path file heap-allocates per capture; use "
+                    "Task (common/task.h)")
+            if ENCODE_BY_VALUE.search(line):
+                findings.append(
+                    f"{rel}:{lineno}: [hot-path-alloc] allocating Encode() "
+                    "in a lint:hot-path file; use the size-precomputed "
+                    "EncodeTo span path")
 
         # --- blocking-under-lock token scan ---------------------------------
         if not in_sim:
@@ -329,7 +362,39 @@ def lint_requires_assertheld(header_texts, all_texts, findings):
                     "calls AssertHeld/AssertSharedHeld in its body")
 
 
+def self_test():
+    """Prove hot-path-alloc fires on known-bad input and stays quiet
+    otherwise. Exercised by the lint_msplog_selftest CTest."""
+    bad = [
+        "// lint:hot-path",
+        "#include <functional>",
+        "std::function<void()> cb = [] {};",   # finding 1
+        "Bytes b = rec.Encode();",             # finding 2
+        "// audit:allow(hot-path-alloc): reviewed — cold error path",
+        "std::function<void()> waived = [] {};",
+        "w.EncodeTo(&buf);  // the good path never fires",
+        "// a comment saying std::function or .Encode() never fires",
+    ]
+    findings = []
+    lint_source("src/fake/hot.cc", bad, findings)
+    hits = [f for f in findings if "[hot-path-alloc]" in f]
+    if len(hits) != 2:
+        sys.exit("lint_msplog: self-test FAILED: expected exactly 2 "
+                 "hot-path-alloc findings on the bad fixture, got %d:\n%s"
+                 % (len(hits), "\n".join(findings)))
+    findings = []
+    # Same source without the tag: the rule must not fire at all.
+    lint_source("src/fake/cold.cc", bad[1:], findings)
+    if any("[hot-path-alloc]" in f for f in findings):
+        sys.exit("lint_msplog: self-test FAILED: hot-path-alloc fired on an "
+                 "untagged file:\n" + "\n".join(findings))
+    print("lint_msplog: self-test OK")
+    return 0
+
+
 def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
     findings = []
     files = sorted(
         p for p in SRC.rglob("*") if p.suffix in (".h", ".cc"))

@@ -37,12 +37,9 @@ const std::array<std::array<uint32_t, 256>, 8>& Tables() {
   return tables;
 }
 
-}  // namespace
-
-uint32_t Compute(const void* data, size_t n, uint32_t init) {
+uint32_t ComputeSw(const void* data, size_t n, uint32_t crc) {
   const auto& t = Tables();
   const auto* p = static_cast<const uint8_t*>(data);
-  uint32_t crc = ~init;
   // Bytewise loads keep this endian- and alignment-neutral; the slicing win
   // comes from breaking the lookup dependency chain, not from wide loads.
   while (n >= 8) {
@@ -63,7 +60,46 @@ uint32_t Compute(const void* data, size_t n, uint32_t init) {
   for (size_t i = 0; i < n; ++i) {
     crc = t[0][(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
   }
-  return ~crc;
+  return crc;
+}
+
+#if defined(__x86_64__) && (defined(__clang__) || defined(__GNUC__))
+#define MSPLOG_CRC32C_HW 1
+
+// Hardware path: the SSE4.2 CRC32 instruction implements exactly this
+// (reflected Castagnoli) polynomial, one 8-byte step per ~1-cycle op. The
+// target attribute lets us emit the instruction without compiling the whole
+// TU with -msse4.2; dispatch below checks cpuid once at startup.
+__attribute__((target("sse4.2"))) uint32_t ComputeHw(const void* data,
+                                                     size_t n, uint32_t crc) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t c = crc;
+  while (n >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);  // unaligned-safe load
+    c = __builtin_ia32_crc32di(c, chunk);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(c);
+  while (n > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --n;
+  }
+  return crc;
+}
+
+const bool kHaveHwCrc = __builtin_cpu_supports("sse4.2");
+#endif  // __x86_64__
+
+}  // namespace
+
+uint32_t Compute(const void* data, size_t n, uint32_t init) {
+  uint32_t crc = ~init;
+#if defined(MSPLOG_CRC32C_HW)
+  if (kHaveHwCrc) return ~ComputeHw(data, n, crc);
+#endif
+  return ~ComputeSw(data, n, crc);
 }
 
 }  // namespace crc32c

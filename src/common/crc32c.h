@@ -1,5 +1,6 @@
-// CRC32C (Castagnoli) — software, table-driven. Protects every physical log
-// record, the log anchor, and kvdb WAL records against torn writes.
+// CRC32C (Castagnoli). Slice-by-8 software tables with a runtime-dispatched
+// SSE4.2 hardware path on x86-64. Protects every physical log record, the
+// log anchor, and kvdb WAL records against torn writes.
 #pragma once
 
 #include <cstddef>

@@ -7,26 +7,26 @@ namespace msplog {
 void BinaryWriter::PutU32(uint32_t v) {
   char tmp[4];
   for (int i = 0; i < 4; ++i) tmp[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
-  buf_.append(tmp, 4);
+  Write(tmp, 4);
 }
 
 void BinaryWriter::PutU64(uint64_t v) {
   char tmp[8];
   for (int i = 0; i < 8; ++i) tmp[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
-  buf_.append(tmp, 8);
+  Write(tmp, 8);
 }
 
 void BinaryWriter::PutVarint(uint64_t v) {
   while (v >= 0x80) {
-    buf_.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    Push(static_cast<char>((v & 0x7F) | 0x80));
     v >>= 7;
   }
-  buf_.push_back(static_cast<char>(v));
+  Push(static_cast<char>(v));
 }
 
 void BinaryWriter::PutBytes(ByteView v) {
   PutVarint(v.size());
-  buf_.append(v.data(), v.size());
+  Write(v.data(), v.size());
 }
 
 Status BinaryReader::GetU8(uint8_t* out) {

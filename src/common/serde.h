@@ -3,6 +3,7 @@
 // LEB128 varints, and length-prefixed strings.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -13,26 +14,83 @@
 
 namespace msplog {
 
-/// Appends primitive values to an owned byte buffer.
+/// Exact encoded size of a LEB128 varint. Pairs with BinaryWriter::PutVarint
+/// so hot paths can precompute a record's framed size before reserving
+/// arena/wire space and then encode in place without intermediate buffers.
+inline size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Exact encoded size of a length-prefixed byte string (PutBytes).
+inline size_t BytesWireSize(ByteView v) { return VarintSize(v.size()) + v.size(); }
+
+/// Appends primitive values to one of three destinations, chosen at
+/// construction:
+///   - owned buffer (default): the classic build-then-Take() mode;
+///   - external sink (`BinaryWriter(&bytes)`): appends to a caller-owned
+///     Bytes, so a message encodes straight into the wire buffer;
+///   - span (`BinaryWriter(dst, cap)`): writes into preallocated raw memory
+///     (a log arena slot) with no allocation at all. The caller must have
+///     sized the span with EncodedSize(); overflow is a programming error
+///     and trips the assert.
+/// size() always reports the bytes written through THIS writer (not the
+/// sink's total); buffer()/Take() are valid only in owned mode.
 class BinaryWriter {
  public:
-  BinaryWriter() = default;
+  BinaryWriter() : sink_(&own_) {}
+  explicit BinaryWriter(Bytes* sink) : sink_(sink) {}
+  BinaryWriter(char* dst, size_t cap) : span_(dst), span_cap_(cap) {}
 
-  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU8(uint8_t v) { Push(static_cast<char>(v)); }
   void PutU32(uint32_t v);
   void PutU64(uint64_t v);
   void PutVarint(uint64_t v);
   /// Length-prefixed (varint) byte string.
   void PutBytes(ByteView v);
   /// Raw bytes with no length prefix.
-  void PutRaw(ByteView v) { buf_.append(v.data(), v.size()); }
+  void PutRaw(ByteView v) { Write(v.data(), v.size()); }
 
-  const Bytes& buffer() const { return buf_; }
-  Bytes Take() { return std::move(buf_); }
-  size_t size() const { return buf_.size(); }
+  const Bytes& buffer() const {
+    assert(sink_ == &own_);
+    return own_;
+  }
+  Bytes Take() {
+    assert(sink_ == &own_);
+    return std::move(own_);
+  }
+  /// Bytes written through this writer (all modes).
+  size_t size() const { return written_; }
 
  private:
-  Bytes buf_;
+  void Push(char c) {
+    if (span_ != nullptr) {
+      assert(written_ < span_cap_ && "BinaryWriter span overflow");
+      span_[written_] = c;
+    } else {
+      sink_->push_back(c);
+    }
+    ++written_;
+  }
+  void Write(const char* p, size_t n) {
+    if (span_ != nullptr) {
+      assert(written_ + n <= span_cap_ && "BinaryWriter span overflow");
+      for (size_t i = 0; i < n; ++i) span_[written_ + i] = p[i];
+    } else {
+      sink_->append(p, n);
+    }
+    written_ += n;
+  }
+
+  Bytes own_;
+  Bytes* sink_ = nullptr;   // owned or external mode
+  char* span_ = nullptr;    // span mode
+  size_t span_cap_ = 0;
+  size_t written_ = 0;
 };
 
 /// Consumes primitive values from a byte view. All getters return

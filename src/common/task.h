@@ -1,0 +1,130 @@
+// lint:hot-path
+//
+// Small-buffer-optimized, move-only callable for the request hot path.
+// std::function requires copyability and heap-allocates for anything beyond
+// a couple of pointers; every ThreadPool::Submit used to pay that allocation
+// per request. Task stores callables up to kInlineBytes inline (covers the
+// `[this, shared_ptr]` lambdas the dispatcher actually submits) and falls
+// back to the heap only for oversized captures (e.g. a whole captured
+// Message), where the old path would have allocated anyway — but a move
+// into Task never copies the capture.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace msplog {
+
+class Task {
+ public:
+  // Inline storage: enough for a this-pointer plus a shared_ptr or two
+  // small values, which is every hot-path lambda in the dispatcher.
+  static constexpr size_t kInlineBytes = 48;
+
+  Task() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Task> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Task(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(inline_buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      auto owned = std::make_unique<Fn>(std::forward<F>(f));
+      heap_ = owned.release();
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  Task(Task&& o) noexcept { MoveFrom(std::move(o)); }
+
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      MoveFrom(std::move(o));
+    }
+    return *this;
+  }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Invoke the callable. Unlike a one-shot promise, invoking does not
+  /// destroy the target (std::function semantics); destruction happens in
+  /// the destructor / move-assign, exactly once.
+  void operator()() { ops_->invoke(Target()); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct the target from src storage into dst storage (inline
+    // mode) and destroy the src; heap mode moves the pointer instead and
+    // never uses this.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);
+    bool heap;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void Relocate(void* src, void* dst) {
+      Fn* from = static_cast<Fn*>(src);
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* p) { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops ops{&Invoke, &Relocate, &Destroy, false};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static void Invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void Relocate(void*, void*) {}
+    static void Destroy(void* p) {
+      std::default_delete<Fn>()(static_cast<Fn*>(p));
+    }
+    static constexpr Ops ops{&Invoke, &Relocate, &Destroy, true};
+  };
+
+  void* Target() { return ops_->heap ? heap_ : static_cast<void*>(inline_buf_); }
+
+  void MoveFrom(Task&& o) {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->heap) {
+        heap_ = o.heap_;
+        o.heap_ = nullptr;
+      } else {
+        ops_->relocate(o.inline_buf_, inline_buf_);
+      }
+      o.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(Target());
+      ops_ = nullptr;
+      heap_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char inline_buf_[kInlineBytes];
+  void* heap_ = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace msplog

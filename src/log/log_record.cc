@@ -20,21 +20,48 @@ const char* LogRecordTypeName(LogRecordType t) {
   return "Unknown";
 }
 
+size_t LogRecord::EncodedSize(const Bytes* dv_wire) const {
+  size_t n = 1;  // type
+  n += BytesWireSize(session_id);
+  n += BytesWireSize(var_id);
+  n += VarintSize(seqno);
+  n += BytesWireSize(target);
+  n += BytesWireSize(payload);
+  n += 1;  // has_dv
+  if (has_dv) n += dv_wire != nullptr ? dv_wire->size() : dv.EncodedSize();
+  n += VarintSize(prev_lsn);
+  n += BytesWireSize(peer);
+  n += 4;  // peer_epoch
+  n += VarintSize(peer_recovered_sn);
+  n += 1;  // aux
+  return n;
+}
+
+void LogRecord::EncodeTo(BinaryWriter* w, const Bytes* dv_wire) const {
+  w->PutU8(static_cast<uint8_t>(type));
+  w->PutBytes(session_id);
+  w->PutBytes(var_id);
+  w->PutVarint(seqno);
+  w->PutBytes(target);
+  w->PutBytes(payload);
+  w->PutU8(has_dv ? 1 : 0);
+  if (has_dv) {
+    if (dv_wire != nullptr) {
+      w->PutRaw(*dv_wire);
+    } else {
+      dv.EncodeTo(w);
+    }
+  }
+  w->PutVarint(prev_lsn);
+  w->PutBytes(peer);
+  w->PutU32(peer_epoch);
+  w->PutVarint(peer_recovered_sn);
+  w->PutU8(aux);
+}
+
 Bytes LogRecord::Encode() const {
   BinaryWriter w;
-  w.PutU8(static_cast<uint8_t>(type));
-  w.PutBytes(session_id);
-  w.PutBytes(var_id);
-  w.PutVarint(seqno);
-  w.PutBytes(target);
-  w.PutBytes(payload);
-  w.PutU8(has_dv ? 1 : 0);
-  if (has_dv) dv.EncodeTo(&w);
-  w.PutVarint(prev_lsn);
-  w.PutBytes(peer);
-  w.PutU32(peer_epoch);
-  w.PutVarint(peer_recovered_sn);
-  w.PutU8(aux);
+  EncodeTo(&w);
   return w.Take();
 }
 

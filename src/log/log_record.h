@@ -86,6 +86,18 @@ struct LogRecord {
   /// Set by the log on append / scan; not part of the encoded body.
   uint64_t lsn = 0;
 
+  /// Exact body size EncodeTo will produce. When `dv_wire` is non-null it
+  /// stands in for this record's encoded DV (a caller-side cache of
+  /// `dv.EncodeTo` output) — it MUST be the encoding of `dv`.
+  size_t EncodedSize(const Bytes* dv_wire = nullptr) const;
+
+  /// Encode the body through `w` — which may be an owned-buffer writer, an
+  /// external-sink writer, or a span writer over preallocated log-arena
+  /// memory (the zero-copy append path). Writes exactly EncodedSize(dv_wire)
+  /// bytes. `dv_wire`, when given, is spliced in instead of re-encoding
+  /// `dv`; byte-for-byte identical output either way.
+  void EncodeTo(BinaryWriter* w, const Bytes* dv_wire = nullptr) const;
+
   Bytes Encode() const;
   static Status Decode(ByteView body, LogRecord* out);
 

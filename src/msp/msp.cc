@@ -121,8 +121,13 @@ Status Msp::Start() {
   pool_ = std::make_unique<ThreadPool>(config_.thread_pool_size);
   control_pool_ = std::make_unique<ThreadPool>(2);
   {
+    audit::LockGuard lk(probe_mu_);
+    probe_pool_ = pool_.get();
+  }
+  {
     audit::LockGuard lk(sessions_mu_);
     sessions_.clear();
+    queued_requests_.store(0, std::memory_order_relaxed);
   }
   {
     audit::LockGuard lk(table_mu_);
@@ -233,6 +238,7 @@ void Msp::CrashLocked(bool is_crash) {
   {
     audit::LockGuard lk(sessions_mu_);
     sessions_.clear();
+    queued_requests_.store(0, std::memory_order_relaxed);
   }
   {
     audit::LockGuard lk(vars_mu_);
@@ -253,6 +259,13 @@ void Msp::CrashLocked(bool is_crash) {
   }
   inbound_flush_.reset();
   psession_db_.reset();
+  {
+    // Detach the scraper probe before the pool dies: the probe thread only
+    // dereferences probe_pool_ under probe_mu_, so after this block no
+    // probe can reach the object pool_.reset() is about to destroy.
+    audit::LockGuard lk(probe_mu_);
+    probe_pool_ = nullptr;
+  }
   pool_.reset();
   control_pool_.reset();
 }
@@ -284,11 +297,11 @@ void Msp::DispatchLoop() {
       case MessageType::kReply:
         HandleReplyMsg(std::move(m));
         break;
-      case MessageType::kFlushRequest: {
-        Message copy = m;
-        control_pool_->Submit([this, copy] { HandleFlushRequest(copy); });
+      case MessageType::kFlushRequest:
+        // Move-only task type: the message moves into the closure, no copy.
+        control_pool_->Submit(
+            [this, fm = std::move(m)] { HandleFlushRequest(fm); });
         break;
-      }
       case MessageType::kFlushReply:
         HandleFlushReply(std::move(m));
         break;
@@ -345,6 +358,7 @@ void Msp::HandleRequestMsg(Message m) {
       env_->tracer().Record(obs::TraceEventType::kEnqueue, now_ms, config_.id,
                             m.session_id, m.seqno, m.method, span);
       s->pending_requests.push_back({std::move(m), now_ms, span});
+      queued_requests_.fetch_add(1, std::memory_order_relaxed);
       if (s->recovering) {
         // Admission gate (instant restart): the request is queued and a
         // replay of JUST this session is triggered on demand — it jumps the
@@ -406,6 +420,7 @@ void Msp::SessionWorker(std::shared_ptr<Session> s) {
         enqueue_ms = s->pending_requests.front().enqueue_model_ms;
         span = s->pending_requests.front().span;
         s->pending_requests.pop_front();
+        queued_requests_.fetch_sub(1, std::memory_order_relaxed);
         have_msg = true;
       } else {
         s->worker_active = false;
@@ -622,13 +637,21 @@ Status Msp::SendReply(Session* s, ReplyCode code, const Bytes& payload,
   // Echo the trace back: the reply's parent is this server's request span.
   r.trace_id = span.trace_id;
   r.parent_span_id = span.span_id;
+  const Bytes* dv_wire = nullptr;
   if (config_.mode == RecoveryMode::kLogBased) {
     if (IntraDomain(s->client)) {
       // Optimistic: attach the sender session's DV (Fig. 7) — or the whole
-      // process's DV in the §3.2-strawman mode.
+      // process's DV in the §3.2-strawman mode. The per-session path splices
+      // the session's cached wire encoding instead of copying the DV map
+      // into the message.
       r.has_dv = true;
-      r.dv = config_.per_session_dv ? s->dv : MspWideDv();
-      env_->stats().dv_entries_attached.fetch_add(r.dv.entry_count());
+      if (config_.per_session_dv) {
+        dv_wire = &s->CachedDvWire();
+        env_->stats().dv_entries_attached.fetch_add(s->dv.entry_count());
+      } else {
+        r.dv = MspWideDv();
+        env_->stats().dv_entries_attached.fetch_add(r.dv.entry_count());
+      }
       s->stats.OnPiggybackedSend();
     } else {
       // Pessimistic: output messages must never become orphans (§2.3).
@@ -640,7 +663,9 @@ Status Msp::SendReply(Session* s, ReplyCode code, const Bytes& payload,
                                 log_->durable_lsn());
     }
   }
-  network_->Send(config_.id, s->client, r.Encode());
+  Bytes wire;
+  r.AppendTo(&wire, dv_wire);
+  network_->Send(config_.id, s->client, std::move(wire));
   env_->tracer().Record(obs::TraceEventType::kReplySent, env_->NowModelMs(),
                         config_.id, s->id, seqno, "", span);
   return Status::OK();
@@ -652,8 +677,22 @@ Status Msp::SendReply(Session* s, ReplyCode code, const Bytes& payload,
 
 uint64_t Msp::AppendSessionRecord(Session* s, LogRecord rec) {
   rec.session_id = s->id;
+  // Batch DV piggybacking: consecutive records of this session that carry
+  // an identical DV splice one shared encoding into the log arena.
+  const Bytes* dv_wire = nullptr;
+  if (rec.has_dv) {
+    auto& cache = s->logged_dv_cache;
+    if (!cache.valid || !(cache.value == rec.dv)) {
+      cache.wire.clear();
+      BinaryWriter w(&cache.wire);
+      rec.dv.EncodeTo(&w);
+      cache.value = rec.dv;
+      cache.valid = true;
+    }
+    dv_wire = &cache.wire;
+  }
   size_t framed = 0;
-  uint64_t lsn = log_->Append(rec, &framed);
+  uint64_t lsn = log_->Append(rec, &framed, dv_wire);
   s->positions.Add(lsn);
   s->state_number = lsn;
   audit::CheckDvSelfMonotonic("session " + s->id, config_.id, s->dv,
@@ -885,9 +924,12 @@ Status Msp::UndoSharedVariable(SharedVariable* var) {
 
 Status Msp::CallRoundTrip(const std::string& dest, const Message& req,
                           bool check_orphan_reply, Message* out,
-                          uint32_t max_sends) {
+                          uint32_t max_sends, const Bytes* dv_wire) {
   if (max_sends == 0) max_sends = config_.max_call_sends;
-  Bytes wire = req.Encode();
+  // Encoded once, resent verbatim on loss. `dv_wire`, when set, splices the
+  // caller's pre-encoded DV (zero-copy piggybacking).
+  Bytes wire;
+  req.AppendTo(&wire, dv_wire);
   auto key = std::make_pair(req.session_id, req.seqno);
   uint32_t sends = 0;
   while (sends < max_sends) {
@@ -989,11 +1031,20 @@ Status Msp::OutgoingCallImpl(Session* s, const std::string& target,
   const bool intra = IntraDomain(target);
   s->stats.OnNestedCall(target, /*cross_domain=*/!intra);
   ++s->calls_in_request;
+  const Bytes* dv_wire = nullptr;
   if (log_based) {
     if (intra) {
+      // Per-session mode splices the session's cached wire DV rather than
+      // copying the map into the request (the cache stays valid for the
+      // whole round trip: only this worker thread mutates s->dv).
       req.has_dv = true;
-      req.dv = config_.per_session_dv ? s->dv : MspWideDv();
-      env_->stats().dv_entries_attached.fetch_add(req.dv.entry_count());
+      if (config_.per_session_dv) {
+        dv_wire = &s->CachedDvWire();
+        env_->stats().dv_entries_attached.fetch_add(s->dv.entry_count());
+      } else {
+        req.dv = MspWideDv();
+        env_->stats().dv_entries_attached.fetch_add(req.dv.entry_count());
+      }
       s->stats.OnPiggybackedSend();
     } else {
       // Pessimistic leg: flush our dependencies before the message leaves
@@ -1008,8 +1059,9 @@ Status Msp::OutgoingCallImpl(Session* s, const std::string& target,
   }
 
   Message rep;
-  MSPLOG_RETURN_IF_ERROR(
-      CallRoundTrip(target, req, /*check_orphan_reply=*/log_based, &rep));
+  MSPLOG_RETURN_IF_ERROR(CallRoundTrip(target, req,
+                                       /*check_orphan_reply=*/log_based, &rep,
+                                       /*max_sends=*/0, dv_wire));
 
   if (log_based) {
     // §3.1: log the nondeterministic reply receive (with its DV if the
@@ -1546,11 +1598,15 @@ void Msp::RegisterTelemetryProbes(obs::MetricsScraper* scraper) const {
   scraper->AddProbe(p + "sessions", [this] {
     return static_cast<double>(SessionCount());
   });
+  // Both queue-depth probes read relaxed atomics: the scraper fires every
+  // 100ms and must never contend with the request hot path for a mutex.
   scraper->AddProbe(p + "queued_requests", [this] {
-    audit::LockGuard lk(sessions_mu_);
-    uint64_t queued = 0;
-    for (const auto& [id, s] : sessions_) queued += s->pending_requests.size();
-    return static_cast<double>(queued);
+    return static_cast<double>(
+        queued_requests_.load(std::memory_order_relaxed));
+  });
+  scraper->AddProbe(p + "pool.queue_depth", [this] {
+    audit::LockGuard lk(probe_mu_);
+    return probe_pool_ ? static_cast<double>(probe_pool_->queued()) : 0.0;
   });
   // Aggregates over live sessions' relaxed-atomic telemetry; the sessions
   // table lock only pins the session set, never session bodies.

@@ -267,10 +267,12 @@ class Msp {
   /// Send `req` to `dest` and await the matching reply, resending on loss
   /// and backing off on Busy. If `check_orphan_reply` is set, replies whose
   /// attached DV is an orphan are discarded (Fig. 7) and the wait continues.
-  /// `max_sends` of 0 uses the configured retry budget.
+  /// `max_sends` of 0 uses the configured retry budget. `dv_wire`, when
+  /// set, is the pre-encoded DV spliced into the wire image in place of
+  /// `req.dv` (zero-copy piggybacking; `req.has_dv` must be true).
   Status CallRoundTrip(const std::string& dest, const Message& req,
                        bool check_orphan_reply, Message* out,
-                       uint32_t max_sends = 0);
+                       uint32_t max_sends = 0, const Bytes* dv_wire = nullptr);
 
   // ---- distributed log flush (§3.1) ----
   /// Timing/tracing wrapper around DistributedFlushImpl. `span` is the
@@ -438,6 +440,17 @@ class Msp {
   /// (pool tasks referencing it are joined by Crash/Shutdown).
   std::unique_ptr<RecoveryCoordinator>
       recovery_coordinator_;  // audit:allow(guarded-by)
+
+  /// Queue depth across every session's pending_requests, maintained with
+  /// relaxed increments/decrements at enqueue/dequeue so the telemetry
+  /// scraper's "queued_requests" probe never takes sessions_mu_.
+  std::atomic<uint64_t> queued_requests_{0};
+
+  /// Scraper-safe handle to pool_: the probe thread dereferences the pool
+  /// while Crash() may be resetting it, so the probe reads this pointer
+  /// under its own tiny mutex and Crash nulls it before pool_.reset().
+  mutable audit::Mutex probe_mu_{"msp.probe"};
+  ThreadPool* probe_pool_ GUARDED_BY(probe_mu_) = nullptr;
 
   /// Crashes suffered (not graceful shutdowns); stamps flight bundles.
   std::atomic<uint64_t> crash_generation_{0};

@@ -68,7 +68,6 @@ void Msp::SessionRecoveryTask(std::shared_ptr<Session> s, bool on_demand) {
     ++last_recovery_timeline_.on_demand_replays;
   }
   (void)RecoverSessionReplay(s.get(), /*from_crash=*/true);
-  env_->stats().sessions_recovered.fetch_add(1);
 }
 
 Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
@@ -115,6 +114,12 @@ Status Msp::RecoverSessionReplay(Session* s, bool from_crash) {
     break;
   }
   active_replays_.fetch_sub(1);
+  if (from_crash) {
+    // Count the recovery BEFORE the session becomes servable again (reply
+    // resend / worker arming below): an observer that just completed a
+    // round trip against the recovered session must see the counter.
+    env_->stats().sessions_recovered.fetch_add(1);
+  }
   // Replay legitimately rewinds the DV; re-arm the monotonicity shadow at the
   // new baseline, and cross-check that no surviving dependency points at a
   // state number the recovered-state table proves lost (Theorem 4.2).

@@ -172,7 +172,12 @@ Status RecoveryCoordinator::RunAnalysis() {
       }
       case LogRecordType::kSessionEnd: {
         audit::LockGuard lk(m->sessions_mu_);
-        m->sessions_.erase(rec.session_id);
+        auto sit = m->sessions_.find(rec.session_id);
+        if (sit != m->sessions_.end()) {
+          m->queued_requests_.fetch_sub(sit->second->pending_requests.size(),
+                                        std::memory_order_relaxed);
+          m->sessions_.erase(sit);
+        }
         positions.erase(rec.session_id);
         break;
       }

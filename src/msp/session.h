@@ -126,13 +126,39 @@ class Session {
   /// only, folded into stats.OnRequestFanout at the request boundary.
   uint64_t calls_in_request = 0;
 
+  // ---- hot-path encode caches (owner-thread only, like `dv` itself) ----
+  /// Wire encoding of `dv`, re-encoded only when the DV actually changed
+  /// (DependencyVector bumps `version()` on every mutation). Spliced
+  /// verbatim into outgoing messages and checkpoints so the hot path never
+  /// copies the DV map or re-encodes an unchanged vector.
+  const Bytes& CachedDvWire() const {
+    if (dv_wire_version_ != dv.version()) {
+      dv_wire_.clear();
+      BinaryWriter w(&dv_wire_);
+      dv.EncodeTo(&w);
+      dv_wire_version_ = dv.version();
+    }
+    return dv_wire_;
+  }
+
+  /// Batch DV piggybacking (log side): consecutive log records of this
+  /// session that carry an identical DV share one encoding. Keyed by value
+  /// (not version) because record DVs often come from merged peers, not
+  /// from `dv` itself.
+  struct LoggedDvCache {
+    bool valid = false;
+    DependencyVector value;
+    Bytes wire;
+  };
+  LoggedDvCache logged_dv_cache;
+
   /// Serialize the checkpointable state (§3.2: session variables, buffered
   /// reply, next expected request seqno, outgoing sessions' next available
   /// seqnos — plus the DV, which is safe to persist because a distributed
   /// flush precedes every session checkpoint).
   Bytes EncodeCheckpoint() const {
     BinaryWriter w;
-    dv.EncodeTo(&w);
+    w.PutRaw(CachedDvWire());
     w.PutVarint(state_number);
     w.PutVarint(next_expected_seqno);
     w.PutU8(buffered_reply.valid ? 1 : 0);
@@ -191,6 +217,10 @@ class Session {
     }
     return Status::OK();
   }
+
+ private:
+  mutable Bytes dv_wire_;
+  mutable uint64_t dv_wire_version_ = 0;  ///< 0 = nothing cached yet
 };
 
 }  // namespace msplog

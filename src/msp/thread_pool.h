@@ -1,14 +1,31 @@
+// lint:hot-path
+//
 // Fixed-size worker pool (§2.1): an MSP serves its request queue with a
 // thread pool; the same pool replays sessions in parallel after a crash
 // (§4.3, "recover sessions in parallel").
+//
+// Hot-path shape: Submit pushes a move-only, small-buffer-optimized Task
+// onto a lock-free MPSC ring (common/mpsc_queue.h) — no mutex, no heap
+// allocation for the dispatcher's lambdas. Workers spin through TryPop and
+// only fall back to an eventcount-style sleep (sleepers_ counter + condvar)
+// when the queue is empty; producers pay a fence plus one relaxed load to
+// detect sleepers, and take the mutex only to wake them.
+//
+// Known (accepted) semantic difference from the old mutex design: Submit
+// and Shutdown are no longer atomic with respect to each other — a task
+// pushed concurrently with Shutdown may be popped-and-run or may be left
+// behind in the queue (it is destroyed, not run, when the pool dies). Every
+// in-tree caller stops its producers (dispatch loop, timers) before
+// shutting the pool down, so no task is lost in practice.
 #pragma once
 
-#include <deque>
-#include <functional>
+#include <atomic>
 #include <thread>
 #include <vector>
 
 #include "audit/mutex.h"
+#include "common/mpsc_queue.h"
+#include "common/task.h"
 
 namespace msplog {
 
@@ -21,7 +38,8 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task. Returns false if the pool is shutting down.
-  bool Submit(std::function<void()> task);
+  /// Allocation-free for callables that fit Task's inline storage.
+  bool Submit(Task task);
 
   /// Stop accepting tasks, run what is queued, join all workers.
   void Shutdown();
@@ -32,16 +50,21 @@ class ThreadPool {
   void Abort();
 
   size_t num_threads() const { return workers_.size(); }
-  size_t queued() const;
+  /// Relaxed-atomic depth: safe to sample at any rate (scraper probes it
+  /// every 100 ms) without ever contending with Submit/worker pops.
+  size_t queued() const { return queue_.depth(); }
 
  private:
   void WorkerLoop();
 
+  MpscQueue<Task> queue_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> discard_{false};
+  /// Eventcount: number of workers inside the sleep protocol. Producers
+  /// only touch mu_/cv_ when this is nonzero.
+  std::atomic<int> sleepers_{0};
   mutable audit::Mutex mu_{"thread_pool"};
   audit::CondVar cv_;
-  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
-  bool stop_ GUARDED_BY(mu_) = false;
-  bool discard_ GUARDED_BY(mu_) = false;
   /// Written only while spawning (constructor) and joining (Shutdown/Abort,
   /// serialized by stop_); sized concurrently by num_threads().
   std::vector<std::thread> workers_;

@@ -12,6 +12,7 @@ void DependencyVector::Raise(const MspId& msp, StateId id) {
   auto it = entries_.find(msp);
   if (it == entries_.end() || it->second < id) {
     entries_[msp] = id;
+    ++version_;
   }
 }
 
@@ -32,6 +33,7 @@ void DependencyVector::EncodeTo(BinaryWriter* w) const {
 
 Status DependencyVector::DecodeFrom(BinaryReader* r) {
   entries_.clear();
+  ++version_;
   uint64_t n = 0;
   MSPLOG_RETURN_IF_ERROR(r->GetVarint(&n));
   for (uint64_t i = 0; i < n; ++i) {
@@ -43,6 +45,14 @@ Status DependencyVector::DecodeFrom(BinaryReader* r) {
     entries_[msp] = id;
   }
   return Status::OK();
+}
+
+size_t DependencyVector::EncodedSize() const {
+  size_t n = VarintSize(entries_.size());
+  for (const auto& [msp, id] : entries_) {
+    n += BytesWireSize(msp) + 4 + 8;
+  }
+  return n;
 }
 
 size_t DependencyVector::WireSize() const {

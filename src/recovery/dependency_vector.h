@@ -27,14 +27,23 @@ class DependencyVector {
   void Merge(const DependencyVector& other);
 
   /// Set the owner's own entry (or any entry) outright.
-  void Set(const MspId& msp, StateId id) { entries_[msp] = id; }
+  void Set(const MspId& msp, StateId id) {
+    entries_[msp] = id;
+    ++version_;
+  }
 
   /// Raise `msp`'s entry to at least `id`.
   void Raise(const MspId& msp, StateId id);
 
   std::optional<StateId> Get(const MspId& msp) const;
-  void Remove(const MspId& msp) { entries_.erase(msp); }
-  void Clear() { entries_.clear(); }
+  void Remove(const MspId& msp) {
+    entries_.erase(msp);
+    ++version_;
+  }
+  void Clear() {
+    entries_.clear();
+    ++version_;
+  }
 
   size_t entry_count() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
@@ -42,13 +51,28 @@ class DependencyVector {
 
   /// Replace this DV entirely (the shared-variable *write* rule of §3.3:
   /// a write replaces the variable's DV with the writer session's DV).
-  void ReplaceWith(const DependencyVector& other) { entries_ = other.entries_; }
+  void ReplaceWith(const DependencyVector& other) {
+    entries_ = other.entries_;
+    ++version_;
+  }
 
   void EncodeTo(BinaryWriter* w) const;
   Status DecodeFrom(BinaryReader* r);
 
   /// Approximate wire size in bytes (for message-overhead accounting).
   size_t WireSize() const;
+
+  /// Exact size EncodeTo will produce — hot paths precompute this to
+  /// reserve arena/wire space and encode in place (unlike WireSize, which
+  /// assumes 1-byte varints and exists for overhead accounting only).
+  size_t EncodedSize() const;
+
+  /// Mutation counter: bumped by every mutator (including no-op-looking
+  /// ones — over-counting is safe, under-counting is not). Lets owners
+  /// cache the encoded wire form keyed by (object, version) and skip
+  /// re-encoding when the DV hasn't changed. Copies carry the source's
+  /// version; the counter is only meaningful against one object identity.
+  uint64_t version() const { return version_; }
 
   std::string ToString() const;
 
@@ -58,6 +82,7 @@ class DependencyVector {
 
  private:
   std::map<MspId, StateId> entries_;
+  uint64_t version_ = 1;  // starts nonzero so 0 can mean "no cached encode"
 };
 
 }  // namespace msplog

@@ -2,8 +2,29 @@
 
 namespace msplog {
 
-Bytes Message::Encode() const {
-  BinaryWriter w;
+size_t Message::EncodedSize(const Bytes* dv_wire) const {
+  size_t n = 1;  // type
+  n += BytesWireSize(sender);
+  n += BytesWireSize(session_id);
+  n += VarintSize(seqno);
+  n += BytesWireSize(method);
+  n += BytesWireSize(payload);
+  n += 1;  // has_dv
+  if (has_dv) n += dv_wire != nullptr ? dv_wire->size() : dv.EncodedSize();
+  n += 8 + 8;  // trace_id, parent_span_id
+  n += 1;      // reply_code
+  n += VarintSize(flush_id);
+  n += 4;  // epoch
+  n += VarintSize(flush_sn);
+  n += 1;  // flush_ok
+  n += 4;  // rec_epoch
+  n += VarintSize(rec_sn);
+  return n;
+}
+
+void Message::AppendTo(Bytes* wire, const Bytes* dv_wire) const {
+  wire->reserve(wire->size() + EncodedSize(dv_wire));
+  BinaryWriter w(wire);
   w.PutU8(static_cast<uint8_t>(type));
   w.PutBytes(sender);
   w.PutBytes(session_id);
@@ -11,7 +32,13 @@ Bytes Message::Encode() const {
   w.PutBytes(method);
   w.PutBytes(payload);
   w.PutU8(has_dv ? 1 : 0);
-  if (has_dv) dv.EncodeTo(&w);
+  if (has_dv) {
+    if (dv_wire != nullptr) {
+      w.PutRaw(*dv_wire);
+    } else {
+      dv.EncodeTo(&w);
+    }
+  }
   w.PutU64(trace_id);
   w.PutU64(parent_span_id);
   w.PutU8(static_cast<uint8_t>(reply_code));
@@ -21,7 +48,12 @@ Bytes Message::Encode() const {
   w.PutU8(flush_ok ? 1 : 0);
   w.PutU32(rec_epoch);
   w.PutVarint(rec_sn);
-  return w.Take();
+}
+
+Bytes Message::Encode() const {
+  Bytes out;
+  AppendTo(&out);
+  return out;
 }
 
 Status Message::Decode(ByteView wire, Message* out) {

@@ -80,6 +80,19 @@ struct Message {
   uint32_t rec_epoch = 0;   ///< the epoch that just ended
   uint64_t rec_sn = 0;      ///< recovered state number for that epoch
 
+  /// Exact wire size AppendTo will produce. When `dv_wire` is non-null it
+  /// stands in for the encoded DV: the sender attaches a pre-encoded DV
+  /// (typically the session's version-keyed cache) without copying the
+  /// DependencyVector into the message at all — `has_dv` must be true and
+  /// `dv_wire` must be the encoding of the DV the sender intends to attach.
+  size_t EncodedSize(const Bytes* dv_wire = nullptr) const;
+
+  /// Encode directly onto the tail of `wire` (reserving exactly the bytes
+  /// needed). Zero-copy send path: the wire buffer handed to the network is
+  /// built in place, no intermediate Bytes. Output is byte-for-byte what
+  /// Encode() produces.
+  void AppendTo(Bytes* wire, const Bytes* dv_wire = nullptr) const;
+
   Bytes Encode() const;
   static Status Decode(ByteView wire, Message* out);
 };

@@ -57,22 +57,57 @@ void SimDisk::Barrier(uint64_t sectors) {
 Status SimDisk::WriteAt(const std::string& file, uint64_t offset,
                         ByteView data) {
   ChargeWrite(data.size());
-  audit::LockGuard lk(state_mu_);
-  Bytes& f = files_[file];
-  if (f.size() < offset) f.resize(offset, '\0');
-  if (f.size() < offset + data.size()) f.resize(offset + data.size(), '\0');
-  f.replace(offset, data.size(), data.data(), data.size());
-  env_->stats().disk_bytes_written.fetch_add(data.size());
+  {
+    audit::LockGuard lk(state_mu_);
+    Bytes& f = files_[file];
+    if (f.size() < offset) f.resize(offset, '\0');
+    if (f.size() < offset + data.size()) f.resize(offset + data.size(), '\0');
+    f.replace(offset, data.size(), data.data(), data.size());
+    env_->stats().disk_bytes_written.fetch_add(data.size());
+  }
+  NotifyCompletion(file, offset, data.size());
   return Status::OK();
 }
 
 Status SimDisk::Append(const std::string& file, ByteView data) {
   ChargeWrite(data.size());
-  audit::LockGuard lk(state_mu_);
-  Bytes& f = files_[file];
-  f.append(data.data(), data.size());
-  env_->stats().disk_bytes_written.fetch_add(data.size());
+  uint64_t offset = 0;
+  {
+    audit::LockGuard lk(state_mu_);
+    Bytes& f = files_[file];
+    offset = f.size();
+    f.append(data.data(), data.size());
+    env_->stats().disk_bytes_written.fetch_add(data.size());
+  }
+  NotifyCompletion(file, offset, data.size());
   return Status::OK();
+}
+
+int SimDisk::AddCompletionHook(DiskCompletionHook hook) {
+  audit::LockGuard lk(hooks_mu_);
+  int id = next_hook_id_++;
+  completion_hooks_[id] = std::move(hook);
+  return id;
+}
+
+void SimDisk::RemoveCompletionHook(int id) {
+  audit::LockGuard lk(hooks_mu_);
+  completion_hooks_.erase(id);
+}
+
+void SimDisk::NotifyCompletion(const std::string& file, uint64_t offset,
+                               uint64_t bytes) {
+  // Snapshot the hooks so they run with no disk locks held — a hook is
+  // allowed to take its owner's lock and even issue further disk calls.
+  std::vector<DiskCompletionHook> hooks;
+  {
+    audit::LockGuard lk(hooks_mu_);
+    if (completion_hooks_.empty()) return;
+    hooks.reserve(completion_hooks_.size());
+    for (const auto& [id, h] : completion_hooks_) hooks.push_back(h);
+  }
+  DiskCompletion info{&file, offset, bytes};
+  for (const auto& h : hooks) h(info);
 }
 
 Status SimDisk::ReadAt(const std::string& file, uint64_t offset, uint64_t n,

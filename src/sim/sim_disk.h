@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -60,6 +61,18 @@ struct DiskGeometry {
            n / sectors_per_track * read_track_to_track_ms;
   }
 };
+
+/// Write-completion notification: which byte range of which file just
+/// became durable. Delivered AFTER the write's latency has been charged and
+/// both the I/O and state mutexes have been released, so hooks may take
+/// their own locks (e.g. a log advancing its durable-LSN watermark) without
+/// creating a disk→client lock-order edge.
+struct DiskCompletion {
+  const std::string* file;  ///< valid only for the duration of the call
+  uint64_t offset;
+  uint64_t bytes;
+};
+using DiskCompletionHook = std::function<void(const DiskCompletion&)>;
 
 /// A named durable byte store ("disk") holding one or more files. Thread
 /// safe. Files are sparse: writing past the end zero-fills the gap.
@@ -108,9 +121,18 @@ class SimDisk {
   /// Disable latency charging (tests that only care about contents).
   void set_charge_latency(bool v) { charge_latency_ = v; }
 
+  /// Register a completion hook, invoked after every WriteAt/Append data
+  /// write (not barriers or metadata ops) with no disk locks held. Returns
+  /// an id for RemoveCompletionHook. The caller must remove the hook before
+  /// destroying whatever it captures.
+  int AddCompletionHook(DiskCompletionHook hook);
+  void RemoveCompletionHook(int id);
+
  private:
   void ChargeWrite(uint64_t bytes);
   void ChargeRead(uint64_t bytes);
+  void NotifyCompletion(const std::string& file, uint64_t offset,
+                        uint64_t bytes) EXCLUDES(state_mu_, io_mu_);
 
   SimEnvironment* env_;
   std::string name_;
@@ -127,6 +149,9 @@ class SimDisk {
   std::map<std::string, Bytes> files_ GUARDED_BY(state_mu_);
   audit::Mutex rng_mu_{"sim_disk.rng"};
   Rng rng_ GUARDED_BY(rng_mu_);
+  mutable audit::Mutex hooks_mu_{"sim_disk.hooks"};
+  int next_hook_id_ GUARDED_BY(hooks_mu_) = 1;
+  std::map<int, DiskCompletionHook> completion_hooks_ GUARDED_BY(hooks_mu_);
 };
 
 }  // namespace msplog

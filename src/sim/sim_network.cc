@@ -2,55 +2,79 @@
 #include "sim/sim_network.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace msplog {
 
+namespace {
+// Idle-consumer re-poll bound. The eventcount protocol (sleepers_ counter
+// + Push's seq_cst fence) already rules out lost wakeups; the timed
+// re-poll is liveness insurance on top.
+constexpr auto kMailboxRepoll = std::chrono::milliseconds(50);
+}  // namespace
+
 bool Mailbox::Pop(Packet* out) {
+  if (queue_.TryPop(out)) return true;
   audit::UniqueLock lk(mu_);
-  cv_.wait(lk, [&] {
-    mu_.AssertHeld();
-    return closed_ || !queue_.empty();
-  });
-  if (queue_.empty()) return false;
-  *out = std::move(queue_.front());
-  queue_.pop_front();
-  return true;
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  for (;;) {
+    if (queue_.TryPop(out)) {
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    cv_.wait_for(lk, kMailboxRepoll);
+  }
 }
 
 bool Mailbox::PopWithTimeout(Packet* out, int64_t timeout_real_ms) {
+  if (queue_.TryPop(out)) return true;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_real_ms);
   audit::UniqueLock lk(mu_);
-  cv_.wait_for(lk, std::chrono::milliseconds(timeout_real_ms), [&] {
-    mu_.AssertHeld();
-    return closed_ || !queue_.empty();
-  });
-  if (queue_.empty()) return false;
-  *out = std::move(queue_.front());
-  queue_.pop_front();
-  return true;
+  sleepers_.fetch_add(1, std::memory_order_seq_cst);
+  for (;;) {
+    if (queue_.TryPop(out)) {
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (closed_.load(std::memory_order_acquire) || now >= deadline) {
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    cv_.wait_for(lk, std::min<std::chrono::steady_clock::duration>(
+                         deadline - now, kMailboxRepoll));
+  }
 }
 
 void Mailbox::Push(Packet p) {
-  audit::LockGuard lk(mu_);
-  if (closed_) return;
-  queue_.push_back(std::move(p));
-  cv_.notify_all();
+  if (closed_.load(std::memory_order_acquire)) return;  // dead host: drop
+  queue_.Push(std::move(p));
+  // Publish-then-check (Dekker): pairs with the consumer registering in
+  // sleepers_ before its re-poll — either it sees our packet or we see it
+  // sleeping and wake it.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_relaxed) > 0) {
+    audit::LockGuard lk(mu_);
+    cv_.notify_all();
+  }
 }
 
 void Mailbox::Close() {
+  closed_.store(true, std::memory_order_release);
+  // Drop queued packets, matching the dead-host model. A Push racing with
+  // Close may leave one packet behind; the consumer either drains it (one
+  // extra delivered packet, indistinguishable from delivery-before-crash)
+  // or never pops again and it dies with the mailbox.
+  Packet dropped;
+  while (queue_.TryPop(&dropped)) {
+  }
   audit::LockGuard lk(mu_);
-  closed_ = true;
-  queue_.clear();
   cv_.notify_all();
-}
-
-bool Mailbox::closed() const {
-  audit::LockGuard lk(mu_);
-  return closed_;
-}
-
-size_t Mailbox::size() const {
-  audit::LockGuard lk(mu_);
-  return queue_.size();
 }
 
 SimNetwork::SimNetwork(SimEnvironment* env, uint64_t seed)

@@ -11,6 +11,7 @@
 // apply), so unit tests of the retry logic run instantly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -22,6 +23,7 @@
 
 #include "audit/mutex.h"
 #include "common/bytes.h"
+#include "common/mpsc_queue.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "sim/sim_env.h"
@@ -36,6 +38,13 @@ struct Packet {
 };
 
 /// Per-endpoint receive queue. Closed when the endpoint unregisters.
+///
+/// Hot-path shape: Push lands on a lock-free MPSC ring (the delivery thread
+/// and every immediate-delivery sender are producers), so handing a packet
+/// to an endpoint never contends with the consumer. The consumer (the
+/// endpoint's receive loop) spins through TryPop and parks on an
+/// eventcount-style sleep only when empty; producers pay a fence + relaxed
+/// load to detect a sleeping consumer.
 class Mailbox {
  public:
   /// Blocks until a packet arrives or the mailbox closes.
@@ -47,14 +56,15 @@ class Mailbox {
 
   void Push(Packet p);
   void Close();
-  bool closed() const;
-  size_t size() const;
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  size_t size() const { return queue_.depth(); }
 
  private:
+  MpscQueue<Packet> queue_{256, "mailbox.overflow"};
+  std::atomic<bool> closed_{false};
+  std::atomic<int> sleepers_{0};
   mutable audit::Mutex mu_{"mailbox"};
   audit::CondVar cv_;
-  std::deque<Packet> queue_ GUARDED_BY(mu_);
-  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 /// Probabilistic fault injection for a link (directed).
